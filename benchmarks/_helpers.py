@@ -1,0 +1,15 @@
+"""Shared scale knobs for the figure benchmarks."""
+
+from __future__ import annotations
+
+import os
+
+
+def full_scale() -> bool:
+    """``DYNO_BENCH_FULL=1`` switches to the paper-scale sweeps."""
+    return os.environ.get("DYNO_BENCH_FULL", "") == "1"
+
+
+def bench_tuples() -> int:
+    """Tuples per relation for figure benches."""
+    return 2000 if full_scale() else 1000

@@ -1,0 +1,74 @@
+"""ABL-4 benchmark: deferred vs eager data-update maintenance.
+
+Beyond the paper: the deferred-maintenance scheduler option (related
+work [5]) batches pure-DU stretches into periodic refreshes.  The bench
+sweeps the deferral interval and reports total cost and refresh count —
+the staleness/cost trade-off, quantified.
+"""
+
+from repro.core.scheduler import DynoScheduler
+from repro.core.strategies import PESSIMISTIC
+from repro.experiments.runner import FigureResult
+from repro.experiments.testbed import build_testbed
+from repro.views.consistency import check_convergence
+
+from benchmarks._helpers import bench_tuples, full_scale
+
+
+def run_deferred_ablation(
+    intervals=(None, 5.0, 20.0, 60.0),
+    du_count=150,
+    tuples_per_relation=1000,
+    seed=7,
+) -> FigureResult:
+    result = FigureResult(
+        figure_id="ABL-4",
+        title="Deferred vs eager DU maintenance",
+        x_label="defer_interval",
+        series_names=["total_cost", "view_refreshes", "queries"],
+    )
+    for interval in intervals:
+        testbed = build_testbed(
+            PESSIMISTIC, tuples_per_relation=tuples_per_relation, seed=seed
+        )
+        testbed.scheduler = DynoScheduler(
+            testbed.manager, PESSIMISTIC, defer_du_interval=interval
+        )
+        testbed.engine.schedule_workload(
+            testbed.random_du_workload(du_count, 0.0, 0.3, seed=seed + 1)
+        )
+        testbed.run()
+        report = check_convergence(testbed.manager)
+        if not report.consistent:
+            result.consistent = False
+        metrics = testbed.metrics
+        result.add(
+            "eager" if interval is None else interval,
+            total_cost=metrics.maintenance_cost,
+            view_refreshes=float(metrics.view_refreshes),
+            queries=float(
+                round(metrics.busy_time["maintenance_query"], 2)
+            ),
+        )
+    return result
+
+
+def test_ablation_deferred(benchmark, save_result):
+    du_count = 300 if full_scale() else 150
+
+    result = benchmark.pedantic(
+        run_deferred_ablation,
+        kwargs={
+            "du_count": du_count,
+            "tuples_per_relation": bench_tuples(),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+
+    assert result.consistent
+    refreshes = result.series("view_refreshes")
+    # eager refreshes the most; longer deferral -> monotonically fewer
+    assert refreshes[0] == max(refreshes)
+    assert all(b <= a for a, b in zip(refreshes[1:], refreshes[2:]))

@@ -1,0 +1,53 @@
+"""ABL-2 benchmark: dependency-graph construction scaling (O(mn)).
+
+Section 4.1.1 analyzes graph construction as O(mn) + O(n); this bench
+measures the real constant factors of our implementation.
+"""
+
+from repro.experiments import run_graph_scaling_ablation
+from repro.experiments.ablations import _synthetic_queue
+from repro.core.dependencies import find_dependencies
+from repro.core.strategies import PESSIMISTIC
+from repro.experiments.testbed import build_testbed
+
+from benchmarks._helpers import full_scale
+
+
+def test_ablation_graph_scaling_table(benchmark, save_result):
+    sizes = (
+        ((100, 5), (200, 10), (400, 20), (800, 40), (1600, 80))
+        if full_scale()
+        else ((100, 5), (200, 10), (400, 20), (800, 40))
+    )
+    result = benchmark.pedantic(
+        run_graph_scaling_ablation,
+        kwargs={"sizes": sizes},
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    edges = result.series("edges")
+    # O(mn): 2x n and 2x m -> ~4x edges between consecutive points.
+    for previous, current in zip(edges, edges[1:]):
+        assert 2.0 < current / previous < 8.0
+
+
+def test_micro_graph_build(benchmark):
+    """Steady-state timing of one pre-exec detection round."""
+    view_query = build_testbed(
+        PESSIMISTIC, tuples_per_relation=4
+    ).manager.view.query
+    messages = _synthetic_queue(400, 20)
+    benchmark(find_dependencies, messages, view_query)
+
+
+def test_micro_legal_order(benchmark):
+    """Cycle merge + topological sort on a 400-update queue."""
+    from repro.core.detection import detect
+
+    view_query = build_testbed(
+        PESSIMISTIC, tuples_per_relation=4
+    ).manager.view.query
+    messages = _synthetic_queue(400, 20)
+    graph = detect(messages, view_query).graph
+    benchmark(graph.legal_order)

@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the substrate hot paths.
+
+These are classic repeated-timing benchmarks (unlike the figure benches,
+which run a whole simulated experiment once): the hash-join executor,
+delta application, probe compensation, and one end-to-end DU
+maintenance.
+"""
+
+import random
+
+from repro.core.scheduler import DynoScheduler
+from repro.core.strategies import PESSIMISTIC
+from repro.maintenance.compensation import compensate_answer
+from repro.relational.delta import Delta
+from repro.relational.executor import execute
+from repro.relational.predicate import InPredicate, attr
+from repro.relational.query import JoinCondition, RelationRef, SPJQuery
+from repro.relational.schema import RelationSchema
+from repro.relational.table import Table
+from repro.relational.types import AttributeType
+from repro.sources.messages import DataUpdate, UpdateMessage
+from repro.experiments.testbed import build_testbed
+
+R = RelationSchema.of("R", [("k", AttributeType.INT), "a"])
+T = RelationSchema.of("T", [("k", AttributeType.INT), "x"])
+
+
+def _table(schema, size, seed):
+    rng = random.Random(seed)
+    return Table(
+        schema,
+        [(rng.randrange(size), f"v{i}") for i in range(size)],
+    )
+
+
+def test_micro_hash_join_10k(benchmark):
+    tables = {"R": _table(R, 10_000, 1), "T": _table(T, 10_000, 2)}
+    query = SPJQuery(
+        relations=(RelationRef("s", "R", "R"), RelationRef("s", "T", "T")),
+        projection=(attr("R", "a"), attr("T", "x")),
+        joins=(JoinCondition(attr("R", "k"), attr("T", "k")),),
+    )
+    benchmark(execute, query, tables)
+
+
+def test_micro_probe_scan_10k(benchmark):
+    table = _table(R, 10_000, 3)
+    query = SPJQuery(
+        relations=(RelationRef("s", "R", "R"),),
+        projection=(attr("R", "a"),),
+        selection=InPredicate(attr("R", "k"), frozenset(range(50))),
+    )
+    benchmark(execute, query, {"R": table})
+
+
+def test_micro_delta_apply(benchmark):
+    def apply_round():
+        table = _table(R, 2_000, 4)
+        delta = Delta(R)
+        for index in range(500):
+            delta.add((index, f"n{index}"), 1)
+        table.apply_delta(delta)
+
+    benchmark(apply_round)
+
+
+def test_micro_compensation(benchmark):
+    answer = _table(R, 1_000, 5)
+    query = SPJQuery(
+        relations=(RelationRef("s", "R", "R"),),
+        projection=(attr("R", "k"), attr("R", "a")),
+        selection=InPredicate(attr("R", "k"), frozenset(range(1000))),
+    )
+    leaked = [
+        UpdateMessage(
+            "s",
+            index,
+            0.0,
+            DataUpdate.insert(R, [(index, f"v{index}")]),
+        )
+        for index in range(20)
+    ]
+    benchmark(compensate_answer, answer, query, "R", leaked)
+
+
+def test_micro_single_du_maintenance(benchmark):
+    """One full DU maintenance over the 6-relation testbed view."""
+
+    def run_one():
+        testbed = build_testbed(PESSIMISTIC, tuples_per_relation=500)
+        testbed.engine.schedule_workload(
+            testbed.random_du_workload(1, 0.0, 1.0, seed=6)
+        )
+        DynoScheduler(testbed.manager, PESSIMISTIC).run()
+
+    benchmark.pedantic(run_one, rounds=3, iterations=1)

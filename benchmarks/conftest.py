@@ -1,0 +1,29 @@
+"""Benchmark fixtures.
+
+Each figure benchmark runs its experiment once (timed with
+``benchmark.pedantic``), prints the reproduced series and saves it under
+``benchmarks/results/``.  Scale is controlled by ``DYNO_BENCH_FULL=1``
+(see ``benchmarks/_helpers.py``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    """Persist a FigureResult table and echo it to stdout."""
+
+    def _save(result) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{result.figure_id.lower()}.txt"
+        path.write_text(result.table() + "\n")
+        print()
+        print(result.table())
+
+    return _save

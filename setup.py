@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file only enables
+legacy editable installs (``pip install -e . --no-build-isolation``) on
+machines where PEP 517 builds are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

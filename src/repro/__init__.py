@@ -1,0 +1,149 @@
+"""Dyno — detection and correction of conflicting source updates for
+materialized view maintenance.
+
+A from-scratch reproduction of Chen, Chen, Zhang & Rundensteiner,
+*Detection and Correction of Conflicting Source Updates for View
+Maintenance*, ICDE 2004, including every substrate the paper relies on:
+an in-memory relational engine, autonomous source servers, a
+deterministic discrete-event concurrency simulator, the VM/VS/VA
+maintenance algorithms (with SWEEP-style compensation and EVE-style
+synchronization), and the Dyno scheduler itself.
+
+Quickstart::
+
+    from repro import (
+        SimEngine, DataSource, ViewManager, ViewDefinition,
+        DynoScheduler, PESSIMISTIC,
+    )
+
+See ``examples/quickstart.py`` for a complete runnable scenario.
+"""
+
+from .dyda import DyDaError, DyDaSystem
+from .core import (
+    BLIND_MERGE,
+    NAIVE,
+    OPTIMISTIC,
+    PESSIMISTIC,
+    AnomalyType,
+    Dependency,
+    DependencyGraph,
+    DependencyKind,
+    DynoScheduler,
+    Strategy,
+    correct,
+    detect,
+)
+from .relational import (
+    AttrRef,
+    Attribute,
+    AttributeType,
+    Comparison,
+    Delta,
+    InPredicate,
+    JoinCondition,
+    RelationRef,
+    RelationSchema,
+    SPJQuery,
+    Table,
+    attr,
+    execute,
+    parse_query,
+    parse_view,
+)
+from .sim import CostModel, SimEngine
+from .sources import (
+    AddAttribute,
+    AttributeReplacement,
+    BrokenQueryError,
+    CreateRelation,
+    DataSource,
+    DataUpdate,
+    DropAttribute,
+    DropRelation,
+    MetaKnowledgeBase,
+    RelationReplacement,
+    RenameAttribute,
+    RenameRelation,
+    RestructureRelations,
+    SqliteDataSource,
+    UpdateMessage,
+    Workload,
+    WorkloadItem,
+    Wrapper,
+)
+from .views.audit import AuditingScheduler, StrongConsistencyViolation
+from .views import (
+    ConsistencyReport,
+    MaintenanceUnit,
+    MaterializedView,
+    MultiViewManager,
+    UpdateMessageQueue,
+    ViewDefinition,
+    ViewManager,
+    check_convergence,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddAttribute",
+    "AnomalyType",
+    "AttrRef",
+    "Attribute",
+    "AuditingScheduler",
+    "AttributeReplacement",
+    "AttributeType",
+    "BLIND_MERGE",
+    "BrokenQueryError",
+    "Comparison",
+    "ConsistencyReport",
+    "CostModel",
+    "CreateRelation",
+    "DataSource",
+    "DataUpdate",
+    "Delta",
+    "Dependency",
+    "DependencyGraph",
+    "DependencyKind",
+    "DropAttribute",
+    "DropRelation",
+    "DyDaError",
+    "DyDaSystem",
+    "DynoScheduler",
+    "InPredicate",
+    "JoinCondition",
+    "MaintenanceUnit",
+    "MaterializedView",
+    "MetaKnowledgeBase",
+    "MultiViewManager",
+    "NAIVE",
+    "OPTIMISTIC",
+    "PESSIMISTIC",
+    "RelationRef",
+    "RelationReplacement",
+    "RelationSchema",
+    "RenameAttribute",
+    "RenameRelation",
+    "RestructureRelations",
+    "SPJQuery",
+    "SimEngine",
+    "SqliteDataSource",
+    "Strategy",
+    "StrongConsistencyViolation",
+    "Table",
+    "UpdateMessage",
+    "UpdateMessageQueue",
+    "ViewDefinition",
+    "ViewManager",
+    "Workload",
+    "WorkloadItem",
+    "Wrapper",
+    "attr",
+    "check_convergence",
+    "correct",
+    "detect",
+    "execute",
+    "parse_query",
+    "parse_view",
+]

@@ -1,0 +1,48 @@
+"""Dyno: dependency detection and correction (the paper's contribution)."""
+
+from .anomalies import AnomalyType, classify
+from .correction import CorrectionResult, correct, merge_all
+from .dependencies import (
+    Dependency,
+    DependencyKind,
+    Footprint,
+    find_dependencies,
+    footprint_of_query,
+    footprint_of_update,
+)
+from .detection import DetectionResult, detect
+from .graph import DependencyGraph
+from .scheduler import DynoScheduler, SchedulerStats
+from .strategies import (
+    BLIND_MERGE,
+    NAIVE,
+    OPTIMISTIC,
+    PESSIMISTIC,
+    BrokenQueryPolicy,
+    Strategy,
+)
+
+__all__ = [
+    "AnomalyType",
+    "BLIND_MERGE",
+    "BrokenQueryPolicy",
+    "CorrectionResult",
+    "Dependency",
+    "DependencyGraph",
+    "DependencyKind",
+    "DetectionResult",
+    "DynoScheduler",
+    "Footprint",
+    "NAIVE",
+    "OPTIMISTIC",
+    "PESSIMISTIC",
+    "SchedulerStats",
+    "Strategy",
+    "classify",
+    "correct",
+    "detect",
+    "find_dependencies",
+    "footprint_of_query",
+    "footprint_of_update",
+    "merge_all",
+]

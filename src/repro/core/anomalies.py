@@ -1,0 +1,58 @@
+"""The four anomaly types of Section 3.1.
+
+An anomaly arises when a source update commits before a maintenance
+query of another update's maintenance process is answered
+(Definition 2).  The taxonomy crosses the type of the *conflicting*
+update with the type of the update *being maintained*:
+
+==== ======================= =============================
+Type conflicting update       maintenance process
+==== ======================= =============================
+1    data update              M(data update)
+2    data update              M(schema change)
+3    schema change            M(data update)
+4    schema change            M(schema change)
+==== ======================= =============================
+
+Types 1-2 corrupt query answers (solved by compensation); types 3-4 are
+*broken query* anomalies (solved by Dyno).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..sources.messages import UpdateMessage
+
+
+class AnomalyType(enum.Enum):
+    DU_CONFLICTS_WITH_M_DU = 1
+    DU_CONFLICTS_WITH_M_SC = 2
+    SC_CONFLICTS_WITH_M_DU = 3
+    SC_CONFLICTS_WITH_M_SC = 4
+
+    @property
+    def is_broken_query(self) -> bool:
+        """Types 3 and 4 may break maintenance queries outright."""
+        return self in (
+            AnomalyType.SC_CONFLICTS_WITH_M_DU,
+            AnomalyType.SC_CONFLICTS_WITH_M_SC,
+        )
+
+    @property
+    def is_compensatable(self) -> bool:
+        """Types 1 and 2 are handled by compensation algorithms [1, 20]."""
+        return not self.is_broken_query
+
+
+def classify(
+    conflicting: UpdateMessage, maintained: UpdateMessage
+) -> AnomalyType:
+    """Classify the anomaly of ``conflicting`` vs ``M(maintained)``."""
+    if conflicting.is_schema_change:
+        if maintained.is_schema_change:
+            return AnomalyType.SC_CONFLICTS_WITH_M_SC
+        return AnomalyType.SC_CONFLICTS_WITH_M_DU
+    if maintained.is_schema_change:
+        return AnomalyType.DU_CONFLICTS_WITH_M_SC
+    return AnomalyType.DU_CONFLICTS_WITH_M_DU

@@ -1,0 +1,321 @@
+"""Dependencies between maintenance processes (Section 3).
+
+Two kinds of constraints restrict the order in which queued updates may
+be maintained:
+
+* **Concurrent dependency (CD, Definition 3)** — a schema change's
+  maintenance *writes* the view definition, every maintenance *reads*
+  it.  The writer must go first, but only when the write actually
+  invalidates what the reader's maintenance will touch: Section 4.1.1
+  draws the edge when the schema change "modifies any metadata ... that
+  is included in the view query".  We refine "the view query" to the
+  *maintenance footprint* of the dependent update — for a data update,
+  the view query minus the updated relation itself (its own relation is
+  never probed), which is what makes Figure 4's ``DU1``/``SC2`` pair
+  independent of each other's CDs.
+* **Semantic dependency (SD, Definition 4)** — updates of the same
+  relation must be maintained in commit order (inserting then deleting a
+  tuple cannot be replayed backwards).
+
+A :class:`Dependency` is oriented ``before -> after``: ``before`` must
+be maintained first.  Definition 6's *unsafe* test compares that
+requirement with the UMQ positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable
+
+from ..relational.query import SPJQuery
+from ..sources.messages import (
+    DropAttribute,
+    DropRelation,
+    RenameAttribute,
+    RenameRelation,
+    RestructureRelations,
+    SchemaChange,
+    UpdateMessage,
+)
+
+
+class DependencyKind(Enum):
+    CONCURRENT = "cd"
+    SEMANTIC = "sd"
+
+
+class NameResolver:
+    """Resolves renamed relation/attribute names to their *root* names.
+
+    A queue can contain rename chains (``R6 -> R6__v2 -> R6__v3``); the
+    later links reference names the current view definition has never
+    heard of, yet they absolutely invalidate it.  The resolver maps any
+    name appearing in the queue back to the root name of its lineage so
+    conflict tests compare like with like.  Names introduced by
+    create/restructure start fresh lineages.
+    """
+
+    def __init__(self, messages: list[UpdateMessage]) -> None:
+        self._relation_root: dict[tuple[str, str], str] = {}
+        self._attribute_root: dict[tuple[str, str, str], str] = {}
+        for message in messages:
+            payload = message.payload
+            source = message.source
+            if isinstance(payload, RenameRelation):
+                root = self.relation(source, payload.old)
+                self._relation_root[(source, payload.new)] = root
+            elif isinstance(payload, RenameAttribute):
+                relation_root = self.relation(source, payload.relation)
+                attribute_root = self.attribute(
+                    source, payload.relation, payload.old
+                )[1]
+                self._attribute_root[
+                    (source, relation_root, payload.new)
+                ] = attribute_root
+            elif isinstance(payload, RestructureRelations):
+                created = payload.new_schema.name
+                self._relation_root[(source, created)] = created
+
+    def relation(self, source: str, name: str) -> str:
+        return self._relation_root.get((source, name), name)
+
+    def attribute(
+        self, source: str, relation: str, attribute: str
+    ) -> tuple[str, str]:
+        """(root relation, root attribute) for a reference."""
+        relation_root = self.relation(source, relation)
+        return relation_root, self._attribute_root.get(
+            (source, relation_root, attribute), attribute
+        )
+
+
+_IDENTITY_RESOLVER: "NameResolver" = NameResolver([])
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """``before`` must be maintained before ``after``."""
+
+    before_index: int
+    after_index: int
+    kind: DependencyKind
+
+    def is_unsafe(self) -> bool:
+        """Definition 6: unsafe iff the queue order contradicts the
+        required order (indices are queue positions)."""
+        return self.before_index > self.after_index
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """The metadata one update's maintenance will read at the sources."""
+
+    relations: frozenset[tuple[str, str]]
+    attributes: frozenset[tuple[str, str, str]]
+
+    def normalized(self, resolver: NameResolver) -> "Footprint":
+        """Map every name to its rename-lineage root."""
+        relations = frozenset(
+            (source, resolver.relation(source, relation))
+            for source, relation in self.relations
+        )
+        attributes = frozenset(
+            (source, *resolver.attribute(source, relation, attribute))
+            for source, relation, attribute in self.attributes
+        )
+        return Footprint(relations, attributes)
+
+    def conflicted_by(
+        self,
+        source: str,
+        change: SchemaChange,
+        resolver: NameResolver = _IDENTITY_RESOLVER,
+    ) -> bool:
+        """Does ``change`` invalidate this (already normalized)
+        footprint?  The change's names are rooted via ``resolver``."""
+        if isinstance(change, RenameRelation):
+            return (
+                source,
+                resolver.relation(source, change.old),
+            ) in self.relations
+        if isinstance(change, DropRelation):
+            return (
+                source,
+                resolver.relation(source, change.relation),
+            ) in self.relations
+        if isinstance(change, RestructureRelations):
+            return any(
+                (source, resolver.relation(source, relation))
+                in self.relations
+                for relation in change.dropped
+            )
+        if isinstance(change, (RenameAttribute, DropAttribute)):
+            attribute = (
+                change.old
+                if isinstance(change, RenameAttribute)
+                else change.attribute
+            )
+            return (
+                source,
+                *resolver.attribute(source, change.relation, attribute),
+            ) in self.attributes
+        return False  # additions never conflict
+
+
+def footprint_of_query(
+    query: SPJQuery, exclude_aliases: frozenset[str] = frozenset()
+) -> Footprint:
+    """All (source, relation[, attribute]) metadata a maintenance built
+    from ``query`` reads, minus the excluded aliases."""
+    relations: set[tuple[str, str]] = set()
+    attributes: set[tuple[str, str, str]] = set()
+    by_alias = {ref.alias: ref for ref in query.relations}
+    for ref in query.relations:
+        if ref.alias in exclude_aliases:
+            continue
+        relations.add((ref.source, ref.relation))
+    for attr_ref in query.all_attribute_refs():
+        if attr_ref.relation is None or attr_ref.relation in exclude_aliases:
+            continue
+        owner = by_alias[attr_ref.relation]
+        attributes.add((owner.source, owner.relation, attr_ref.name))
+    return Footprint(frozenset(relations), frozenset(attributes))
+
+
+#: one view query or several (multi-view deployments share one UMQ)
+ViewQueries = "SPJQuery | tuple[SPJQuery, ...] | list[SPJQuery]"
+
+
+def _as_queries(view_queries) -> tuple[SPJQuery, ...]:
+    if isinstance(view_queries, SPJQuery):
+        return (view_queries,)
+    return tuple(view_queries)
+
+
+def _union(footprints: list[Footprint]) -> Footprint:
+    relations: frozenset = frozenset()
+    attributes: frozenset = frozenset()
+    for footprint in footprints:
+        relations |= footprint.relations
+        attributes |= footprint.attributes
+    return Footprint(relations, attributes)
+
+
+def footprint_of_update(
+    message: UpdateMessage,
+    view_queries,
+    rewritten_queries: Callable[[UpdateMessage], object] | None = None,
+    resolver: NameResolver = _IDENTITY_RESOLVER,
+) -> Footprint:
+    """The maintenance footprint of one queued update.
+
+    * A data update's maintenance probes every view relation except its
+      own (unless the relation appears in several aliases — a self-join
+      probes the other occurrence, so nothing is excluded).  With
+      several views, the per-view footprints (each with its own
+      exclusion) are unioned.
+    * A schema change's maintenance adapts the *rewritten* view(s): when
+      the caller can synchronize speculatively it supplies
+      ``rewritten_queries`` and the footprint covers old and new
+      definitions; otherwise the current definitions are used.
+    """
+    queries = _as_queries(view_queries)
+    if message.is_schema_change:
+        footprints = [footprint_of_query(query) for query in queries]
+        if rewritten_queries is not None:
+            for rewritten in _as_queries(rewritten_queries(message)):
+                footprints.append(footprint_of_query(rewritten))
+        return _union(footprints)
+
+    payload = message.payload
+    updated_root = resolver.relation(
+        message.source, payload.relation  # type: ignore[union-attr]
+    )
+    footprints = []
+    for query in queries:
+        own_aliases = frozenset(
+            ref.alias
+            for ref in query.relations
+            if ref.source == message.source
+            and resolver.relation(ref.source, ref.relation) == updated_root
+        )
+        if len(own_aliases) != 1:
+            own_aliases = frozenset()  # self-join: everything is probed
+        footprints.append(
+            footprint_of_query(query, exclude_aliases=own_aliases)
+        )
+    return _union(footprints)
+
+
+def find_dependencies(
+    messages: list[UpdateMessage],
+    view_query,
+    rewritten_query: Callable[[UpdateMessage], object] | None = None,
+) -> list[Dependency]:
+    """Build all CD and SD dependencies among queued updates.
+
+    ``messages`` are in UMQ order (which is commit-arrival order), so a
+    dependency's indices double as queue positions for the Definition 6
+    safety test.  Complexity: O(mn) for CDs (m schema changes) plus O(n)
+    for SDs, as analyzed in Section 4.1.1.
+    """
+    dependencies: list[Dependency] = []
+
+    # Semantic dependencies: adjacent updates of the same relation at
+    # the same source, in commit order (single scan with buckets).
+    last_touch: dict[tuple[str, str], int] = {}
+    for index, message in enumerate(messages):
+        for relation in message.touched_relations():
+            key = (message.source, relation)
+            previous = last_touch.get(key)
+            if previous is not None:
+                dependencies.append(
+                    Dependency(previous, index, DependencyKind.SEMANTIC)
+                )
+            last_touch[key] = index
+
+    # Concurrent dependencies: each view-conflicting schema change must
+    # precede every other update whose maintenance footprint it
+    # invalidates.  Rename lineages are resolved so chained renames
+    # (R -> R__v2 -> R__v3) conflict with footprints that still carry
+    # the original names.
+    resolver = NameResolver(messages)
+    footprints: list[Footprint | None] = [None] * len(messages)
+
+    def footprint(index: int) -> Footprint:
+        cached = footprints[index]
+        if cached is None:
+            cached = footprint_of_update(
+                messages[index], view_query, rewritten_query, resolver
+            ).normalized(resolver)
+            footprints[index] = cached
+        return cached
+
+    for sc_index, sc_message in enumerate(messages):
+        if not sc_message.is_schema_change:
+            continue
+        change = sc_message.payload
+        assert isinstance(change, SchemaChange)
+        for other_index, _other in enumerate(messages):
+            if other_index == sc_index:
+                continue
+            if footprint(other_index).conflicted_by(
+                sc_message.source, change, resolver
+            ):
+                dependencies.append(
+                    Dependency(
+                        sc_index, other_index, DependencyKind.CONCURRENT
+                    )
+                )
+
+    # Deduplicate parallel edges of the same kind.
+    unique: dict[tuple[int, int, DependencyKind], Dependency] = {}
+    for dependency in dependencies:
+        key = (
+            dependency.before_index,
+            dependency.after_index,
+            dependency.kind,
+        )
+        unique.setdefault(key, dependency)
+    return list(unique.values())

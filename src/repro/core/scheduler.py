@@ -1,0 +1,290 @@
+"""Dyno: the dynamic reordering scheduler (Figures 6 and 7).
+
+The scheduler is the paper's main loop:
+
+1. (pessimistic only) atomically test-and-clear the
+   ``NewSchemaChangeFlag``; if set, run pre-exec detection and
+   correction over the whole UMQ — the O(1) fast path means DU-only
+   streams pay essentially nothing (Figure 8);
+2. maintain the head unit by driving its maintenance process against
+   the simulation engine;
+3. if the maintenance finished, commit: remove the head and continue;
+4. if a query broke mid-flight (in-exec detection — the engine throws
+   :class:`~repro.sources.errors.BrokenQueryError` into the process),
+   abort: discard the partial work (counted as *abort cost*), apply the
+   strategy's broken-query policy (correct / merge-all / skip) and loop.
+
+The loop also plays the UMQ-manager role of Figure 7 implicitly: the
+wrappers enqueue messages and raise the flag as autonomous commits fire
+inside the engine's time windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim import trace as trace_kinds
+from ..sim.effects import Delay
+from ..sim.engine import SimEngine
+from ..sources.errors import BrokenQueryError
+from ..sources.messages import UpdateMessage
+from ..views.manager import ViewManager
+from ..views.umq import MaintenanceUnit
+from .anomalies import AnomalyType
+from .correction import CorrectionResult, correct, merge_all
+from .strategies import PESSIMISTIC, BrokenQueryPolicy, Strategy
+
+
+@dataclass
+class SchedulerStats:
+    """Dyno-level counters complementing the engine metrics."""
+
+    iterations: int = 0
+    corrections: int = 0
+    forced_merges: int = 0
+    skipped_updates: int = 0
+    abort_events: list[tuple[float, str]] = field(default_factory=list)
+
+
+class DynoScheduler:
+    """Drives a :class:`ViewManager` under one strategy."""
+
+    def __init__(
+        self,
+        manager: ViewManager,
+        strategy: Strategy = PESSIMISTIC,
+        max_iterations: int = 1_000_000,
+        defer_du_interval: float | None = None,
+    ) -> None:
+        """``defer_du_interval`` enables *deferred* data-update
+        maintenance (Colby et al. [5] in the paper's related work): pure
+        data updates accumulate and are maintained as one coalesced
+        batch every ``interval`` virtual seconds — fewer, bigger view
+        refreshes, trading staleness for refresh cost.  Schema changes
+        are never deferred: the moment one is queued, ordinary Dyno
+        processing takes over.
+        """
+        self.manager = manager
+        self.strategy = strategy
+        self.max_iterations = max_iterations
+        self.defer_du_interval = defer_du_interval
+        self.stats = SchedulerStats()
+        self._last_broken_unit_ids: tuple[int, ...] | None = None
+        self._next_deferred_refresh = (
+            defer_du_interval if defer_du_interval is not None else 0.0
+        )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def engine(self) -> SimEngine:
+        return self.manager.engine
+
+    @property
+    def umq(self):
+        return self.manager.umq
+
+    def _speculative_rewrite(self, message: UpdateMessage):
+        """Footprint helper: what would the view(s) look like after this
+        schema change?  VS is pure, so we can ask without committing."""
+        return self.manager.speculative_queries(message)
+
+    def _charge(self, duration: float, kind: str) -> None:
+        if duration > 0:
+            self.engine.perform(Delay(duration, kind))
+
+    # ------------------------------------------------------------------
+    # detection + correction round
+    # ------------------------------------------------------------------
+
+    def detect_and_correct(self) -> CorrectionResult:
+        """Lines 4-5 of Figure 6: build the graph, fix the order."""
+        messages = self.umq.messages()
+        result = correct(
+            messages,
+            self.manager.maintenance_queries,
+            rewritten_query=self._speculative_rewrite,
+        )
+        # Install the corrected order before charging the detection
+        # delay: commits firing inside the delay window must append
+        # behind the corrected schedule, not invalidate it.
+        self.umq.replace_order(result.units)
+        cost = self.manager.cost
+        self._charge(
+            cost.detection(result.node_count, result.edge_count)
+            + cost.correction(result.node_count, result.edge_count),
+            "detection",
+        )
+        metrics = self.manager.metrics
+        metrics.detection_rounds += 1
+        metrics.graph_builds += 1
+        metrics.cycle_merges += result.merges
+        self.stats.corrections += 1
+        self.engine.tracer.record(
+            self.engine.clock.now,
+            trace_kinds.CORRECTION,
+            f"{result.node_count} nodes, {result.edge_count} edges, "
+            f"{result.merges} merges",
+        )
+        return result
+
+    def _merge_whole_queue(self) -> None:
+        result = merge_all(
+            self.umq.messages(), self.manager.maintenance_queries
+        )
+        cost = self.manager.cost
+        self._charge(
+            cost.correction(result.node_count, result.edge_count),
+            "detection",
+        )
+        self.umq.replace_order(result.units)
+        self.manager.metrics.cycle_merges += result.merges
+
+    def _force_progress(self, broken_source: str) -> None:
+        """Safety valve for repeat-breaking heads.
+
+        If the same head unit breaks twice and correction does not
+        change the schedule (possible when the conflict only exists
+        against the *rewritten* definition mid-flight), merge the head
+        with the schema changes of the breaking source so the batch is
+        maintained atomically.  This preserves Dyno's termination
+        argument (Section 4.4) under adversarial interleavings.
+        """
+        units = list(self.umq.units)
+        head = units[0]
+        absorbed: list[MaintenanceUnit] = [head]
+        rest: list[MaintenanceUnit] = []
+        for unit in units[1:]:
+            if any(
+                message.is_schema_change and message.source == broken_source
+                for message in unit
+            ):
+                absorbed.append(unit)
+            else:
+                rest.append(unit)
+        if len(absorbed) == 1:
+            # Nothing to absorb (the breaking change is not queued yet):
+            # wait for it to arrive before retrying; with nothing even
+            # scheduled there is nothing to merge either, so just retry
+            # (the max_iterations guard bounds the degenerate case).
+            self.engine.advance_to_next_event()
+            return
+        merged = MaintenanceUnit.merged(absorbed)
+        self.umq.replace_order([merged] + rest)
+        self.stats.forced_merges += 1
+
+    # ------------------------------------------------------------------
+    # the Dyno loop
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """One scheduling decision: maintain one unit, or advance to the
+        next pending commit when the queue is idle.
+
+        Returns ``False`` when fully quiescent (nothing queued, nothing
+        scheduled).  Useful for driving the system incrementally —
+        monitoring dashboards, interleaved test assertions — instead of
+        running to completion.
+        """
+        metrics = self.manager.metrics
+        cost = self.manager.cost
+        if self.umq.is_empty():
+            return self.engine.advance_to_next_event()
+        if self.defer_du_interval is not None and self._defer_step():
+            return True
+        self.stats.iterations += 1
+
+        # Line 1: pessimistic pre-exec detection behind the flag.
+        if self.strategy.pre_exec:
+            self._charge(cost.detection_flag_check, "detection")
+            if self.umq.test_and_clear_schema_change_flag():
+                self.detect_and_correct()
+                if self.umq.is_empty():
+                    return True
+
+        unit = self.umq.head()
+        started_at = self.engine.clock.now
+        process = self.manager.build_maintenance(unit)
+        try:
+            self.engine.run_process(process)
+        except BrokenQueryError as broken:
+            wasted = self.engine.clock.now - started_at
+            metrics.aborts += 1
+            metrics.abort_cost += wasted
+            metrics.anomalies[
+                AnomalyType.SC_CONFLICTS_WITH_M_SC
+                if unit.has_schema_change
+                else AnomalyType.SC_CONFLICTS_WITH_M_DU
+            ] += 1
+            self.stats.abort_events.append(
+                (self.engine.clock.now, unit.describe())
+            )
+            self.engine.tracer.record(
+                self.engine.clock.now,
+                trace_kinds.ABORT,
+                f"wasted {wasted:.3f}s on {unit.describe()}",
+            )
+            self._handle_broken_query(unit, broken)
+            return True
+        # Success: line 12, remove the head.
+        self._last_broken_unit_ids = None
+        self.umq.remove_head()
+        return True
+
+    def _defer_step(self) -> bool:
+        """Deferred-mode gate: postpone pure-DU queues until due.
+
+        Returns True when this step was consumed by deferral (waited or
+        coalesced); False to fall through to ordinary processing.
+        """
+        if any(
+            message.is_schema_change for message in self.umq.messages()
+        ):
+            return False  # SCs take priority: normal Dyno processing
+        now = self.engine.clock.now
+        next_event = self.engine.next_event_time()
+        if now < self._next_deferred_refresh:
+            if next_event is not None and next_event < self._next_deferred_refresh:
+                self.engine.advance_to_next_event()
+            else:
+                self.engine.advance_to(self._next_deferred_refresh)
+            return True
+        # Due: coalesce every queued DU into one batch unit.
+        messages = self.umq.messages()
+        if len(messages) > 1:
+            self.umq.replace_order([MaintenanceUnit(list(messages))])
+        self._next_deferred_refresh = now + self.defer_du_interval
+        return False  # fall through and maintain the coalesced batch
+
+    def run(self) -> SchedulerStats:
+        """Process until the UMQ is empty and no commits are pending."""
+        while self.stats.iterations < self.max_iterations:
+            if not self.step():
+                break  # quiescent
+        return self.stats
+
+    def _handle_broken_query(
+        self, unit: MaintenanceUnit, broken: BrokenQueryError
+    ) -> None:
+        policy = self.strategy.on_broken_query
+        if policy is BrokenQueryPolicy.SKIP:
+            self.umq.remove_head()
+            self.stats.skipped_updates += 1
+            return
+        if policy is BrokenQueryPolicy.MERGE_ALL:
+            self._merge_whole_queue()
+            return
+        # Dyno: correct.  Detect the repeat-break case first.
+        unit_ids = tuple(id(message) for message in unit)
+        repeat = unit_ids == self._last_broken_unit_ids
+        self._last_broken_unit_ids = unit_ids
+        self.detect_and_correct()
+        still_head = (
+            not self.umq.is_empty()
+            and tuple(id(message) for message in self.umq.head())
+            == unit_ids
+        )
+        if repeat and still_head:
+            self._force_progress(broken.source)

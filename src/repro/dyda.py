@@ -1,0 +1,199 @@
+"""DyDa: the integrated warehouse-maintenance system, as a facade.
+
+The paper's prototype (DyDa [3]) bundles the view manager, the SWEEP
+compensation, EVE-style synchronization, view adaptation and the Dyno
+scheduler into one system.  :class:`DyDaSystem` is that bundle as a
+five-line public API::
+
+    system = DyDaSystem()
+    retailer = system.add_source("retailer")
+    retailer.create_relation(item_schema, rows)
+    system.define_view("CREATE VIEW V AS SELECT I.Book ... ")
+    system.commit("retailer", DataUpdate.insert(item_schema, [...]))
+    system.run()                       # maintain to quiescence
+    system.extent("V")                 # the materialized rows
+
+Sources can be in-memory (default) or SQLite-backed; views are declared
+in SQL or as :class:`~repro.views.definition.ViewDefinition` objects;
+updates can be committed immediately or scheduled at virtual times.
+"""
+
+from __future__ import annotations
+
+from .core.scheduler import DynoScheduler, SchedulerStats
+from .core.strategies import PESSIMISTIC, Strategy
+from .relational.sql import parse_view
+from .relational.table import Table
+from .sim.costs import CostModel
+from .sim.engine import SimEngine
+from .sources.messages import SourceUpdate, UpdateMessage
+from .sources.mkb import MetaKnowledgeBase
+from .sources.source import DataSource
+from .sources.sqlite_source import SqliteDataSource
+from .sources.workload import FixedUpdate, Workload
+from .views.consistency import ConsistencyReport, check_convergence
+from .views.definition import ViewDefinition
+from .views.manager import ViewManager
+from .views.multi import MultiViewManager
+
+
+class DyDaError(Exception):
+    """Misuse of the DyDa facade (wrong call order, unknown names)."""
+
+
+class DyDaSystem:
+    """One warehouse: autonomous sources, views, the Dyno scheduler."""
+
+    def __init__(
+        self,
+        strategy: Strategy = PESSIMISTIC,
+        cost_model: CostModel | None = None,
+        mkb: MetaKnowledgeBase | None = None,
+        trace: bool = False,
+    ) -> None:
+        self.engine = SimEngine(
+            cost_model or CostModel.paper_default(), trace=trace
+        )
+        self.strategy = strategy
+        self.mkb = mkb or MetaKnowledgeBase()
+        self._view_definitions: list[ViewDefinition] = []
+        self._manager: ViewManager | MultiViewManager | None = None
+        self._scheduler: DynoScheduler | None = None
+
+    # ------------------------------------------------------------------
+    # setup phase
+    # ------------------------------------------------------------------
+
+    def add_source(
+        self, name: str, backend: str = "memory"
+    ) -> DataSource:
+        """Register an autonomous source (before any view is defined)."""
+        if self._manager is not None:
+            raise DyDaError(
+                "add sources before defining views (or use "
+                "manager.connect for late joiners)"
+            )
+        if backend == "memory":
+            source: DataSource = DataSource(name)
+        elif backend == "sqlite":
+            source = SqliteDataSource(name)
+        else:
+            raise DyDaError(f"unknown backend {backend!r}")
+        return self.engine.add_source(source)
+
+    def define_view(
+        self, view: str | ViewDefinition
+    ) -> ViewDefinition:
+        """Declare a view (SQL text or a ViewDefinition)."""
+        if self._manager is not None:
+            raise DyDaError("define all views before the first run/commit")
+        if isinstance(view, str):
+            name, query = parse_view(view)
+            definition = ViewDefinition(name, query)
+        else:
+            definition = view
+        self._view_definitions.append(definition)
+        return definition
+
+    def _ensure_started(self) -> None:
+        if self._manager is not None:
+            return
+        if not self._view_definitions:
+            raise DyDaError("define at least one view first")
+        if len(self._view_definitions) == 1:
+            self._manager = ViewManager(
+                self.engine, self._view_definitions[0], self.mkb
+            )
+        else:
+            self._manager = MultiViewManager(
+                self.engine, self._view_definitions, self.mkb
+            )
+        self._scheduler = DynoScheduler(self._manager, self.strategy)
+
+    # ------------------------------------------------------------------
+    # update stream
+    # ------------------------------------------------------------------
+
+    def commit(
+        self, source_name: str, update: SourceUpdate
+    ) -> UpdateMessage:
+        """Commit an update at a source right now (current virtual time)."""
+        self._ensure_started()
+        source = self.engine.sources.get(source_name)
+        if source is None:
+            raise DyDaError(f"unknown source {source_name!r}")
+        return source.commit(update, at=self.engine.clock.now)
+
+    def schedule(
+        self, at: float, source_name: str, update: SourceUpdate
+    ) -> None:
+        """Schedule an autonomous commit at a future virtual time."""
+        self._ensure_started()
+        if source_name not in self.engine.sources:
+            raise DyDaError(f"unknown source {source_name!r}")
+        workload = Workload()
+        workload.add(at, source_name, FixedUpdate(update))
+        self.engine.schedule_workload(workload)
+
+    def schedule_workload(self, workload: Workload) -> None:
+        self._ensure_started()
+        self.engine.schedule_workload(workload)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def run(self) -> SchedulerStats:
+        """Maintain until quiescent (UMQ empty, no pending commits)."""
+        self._ensure_started()
+        assert self._scheduler is not None
+        return self._scheduler.run()
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def managers(self) -> list[ViewManager]:
+        self._ensure_started()
+        if isinstance(self._manager, MultiViewManager):
+            return list(self._manager.managers)
+        assert isinstance(self._manager, ViewManager)
+        return [self._manager]
+
+    def _manager_for(self, view_name: str | None) -> ViewManager:
+        managers = self.managers
+        if view_name is None:
+            if len(managers) != 1:
+                raise DyDaError(
+                    "several views defined; name the one you want"
+                )
+            return managers[0]
+        for manager in managers:
+            if manager.view.name == view_name:
+                return manager
+        raise DyDaError(f"unknown view {view_name!r}")
+
+    def definition(self, view_name: str | None = None) -> ViewDefinition:
+        return self._manager_for(view_name).view
+
+    def extent(self, view_name: str | None = None) -> Table:
+        return self._manager_for(view_name).mv.extent
+
+    def check(self, view_name: str | None = None) -> ConsistencyReport:
+        """Convergence check against a fresh recompute."""
+        return check_convergence(self._manager_for(view_name))
+
+    @property
+    def metrics(self):
+        return self.engine.metrics
+
+    @property
+    def stats(self) -> SchedulerStats:
+        self._ensure_started()
+        assert self._scheduler is not None
+        return self._scheduler.stats
+
+    @property
+    def now(self) -> float:
+        return self.engine.clock.now

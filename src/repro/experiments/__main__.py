@@ -1,0 +1,107 @@
+"""Command-line runner for the figure reproductions.
+
+Usage::
+
+    python -m repro.experiments fig08 [--full]
+    python -m repro.experiments fig09 fig10
+    python -m repro.experiments all --full
+
+Each figure prints the same series the paper charts; ``--full`` runs the
+paper-scale sweeps (minutes), the default is a reduced configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    run_blind_merge_ablation,
+    run_fig08,
+    run_fig09,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_graph_scaling_ablation,
+    run_starvation_study,
+)
+from .fig08 import QUICK_DU_COUNTS as FIG8_QUICK
+from .fig10 import QUICK_INTERVALS as FIG10_QUICK
+from .fig11 import QUICK_SC_COUNTS as FIG11_QUICK
+from .fig12 import QUICK_DU_COUNTS as FIG12_QUICK
+
+_QUICK_TUPLES = 500
+_FULL_TUPLES = 2000
+
+
+def _runners(full: bool) -> dict:
+    tuples = _FULL_TUPLES if full else _QUICK_TUPLES
+    return {
+        "fig08": lambda: run_fig08(
+            tuples_per_relation=tuples,
+            **({} if full else {"du_counts": FIG8_QUICK}),
+        ),
+        "fig09": lambda: run_fig09(tuples_per_relation=tuples),
+        "fig10": lambda: run_fig10(
+            tuples_per_relation=tuples,
+            **({} if full else {"intervals": FIG10_QUICK, "du_count": 60}),
+        ),
+        "fig11": lambda: run_fig11(
+            tuples_per_relation=tuples,
+            **({} if full else {"sc_counts": FIG11_QUICK, "du_count": 60}),
+        ),
+        "fig12": lambda: run_fig12(
+            tuples_per_relation=tuples,
+            **({} if full else {"du_counts": FIG12_QUICK}),
+        ),
+        "abl-blind-merge": lambda: run_blind_merge_ablation(
+            tuples_per_relation=tuples,
+            **({} if full else {"du_count": 60}),
+        ),
+        "abl-graph-scaling": lambda: run_graph_scaling_ablation(),
+        "abl-starvation": lambda: run_starvation_study(
+            tuples_per_relation=min(tuples, 1000),
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="+",
+        help="figure ids (fig08..fig12, abl-*) or 'all'",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale sweeps (minutes) instead of the quick defaults",
+    )
+    arguments = parser.parse_args(argv)
+
+    runners = _runners(arguments.full)
+    requested = (
+        list(runners) if "all" in arguments.figures else arguments.figures
+    )
+    unknown = [name for name in requested if name not in runners]
+    if unknown:
+        parser.error(
+            f"unknown figure(s) {unknown}; choose from {list(runners)}"
+        )
+
+    for name in requested:
+        started = time.time()
+        result = runners[name]()
+        print(result.table())
+        print(f"({name} ran in {time.time() - started:.1f}s wall)\n")
+        if not result.consistent:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

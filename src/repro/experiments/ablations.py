@@ -1,0 +1,136 @@
+"""Ablation studies for Dyno's design choices.
+
+* **Blind merge vs cycle-only merge** (Section 4.2's argument): the
+  simplistic alternative merges the *whole* UMQ whenever a query breaks.
+  The paper argues this loses intermediate view states and enlarges the
+  abortable window.  We measure total cost, abort cost, and the number
+  of view refreshes (a proxy for intermediate states preserved).
+* **Dependency-graph construction scaling** (Section 4.1.1's O(mn)
+  claim): wall-clock time of ``find_dependencies`` as the number of
+  updates and schema changes grows.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from ..core.dependencies import find_dependencies
+from ..core.strategies import BLIND_MERGE, PESSIMISTIC
+from ..relational.delta import Delta
+from ..sources.messages import DataUpdate, RenameRelation, UpdateMessage
+from ..views.consistency import check_convergence
+from .runner import FigureResult
+from .testbed import build_testbed, relation_schema
+
+
+def run_blind_merge_ablation(
+    du_count: int = 200,
+    sc_count: int = 10,
+    sc_interval: float = 17.0,
+    tuples_per_relation: int = 2000,
+    seed: int = 7,
+) -> FigureResult:
+    result = FigureResult(
+        figure_id="ABL-1",
+        title="Cycle-only merge (Dyno) vs blind whole-queue merge",
+        x_label="strategy",
+        series_names=["total_cost", "abort_cost", "view_refreshes"],
+    )
+    for label, strategy in (
+        ("dyno_cycle_merge", PESSIMISTIC),
+        ("blind_merge", BLIND_MERGE),
+    ):
+        testbed = build_testbed(
+            strategy, tuples_per_relation=tuples_per_relation
+        )
+        testbed.engine.schedule_workload(
+            testbed.random_du_workload(
+                du_count, start=0.0, interval=0.5, seed=seed
+            )
+        )
+        testbed.engine.schedule_workload(
+            testbed.schema_change_workload(
+                sc_count, start=0.0, interval=sc_interval, seed=seed + 4
+            )
+        )
+        testbed.run()
+        report = check_convergence(testbed.manager)
+        if not report.consistent:
+            result.consistent = False
+            result.notes.append(f"{label}: {report.summary()}")
+        result.add(
+            label,
+            total_cost=testbed.metrics.maintenance_cost,
+            abort_cost=testbed.metrics.abort_cost,
+            view_refreshes=float(testbed.metrics.view_refreshes),
+        )
+    dyno_refreshes = result.points[0].values["view_refreshes"]
+    blind_refreshes = result.points[1].values["view_refreshes"]
+    result.notes.append(
+        "intermediate view states preserved: "
+        f"Dyno {dyno_refreshes:.0f} vs blind merge {blind_refreshes:.0f}"
+    )
+    return result
+
+
+def _synthetic_queue(
+    n_updates: int, n_schema_changes: int, seed: int = 5
+) -> list[UpdateMessage]:
+    """A UMQ snapshot with the requested DU/SC mixture."""
+    rng = random.Random(seed)
+    messages: list[UpdateMessage] = []
+    sc_positions = set(
+        rng.sample(range(n_updates), min(n_schema_changes, n_updates))
+    )
+    for position in range(n_updates):
+        relation_index = rng.randrange(6)
+        schema = relation_schema(relation_index)
+        source = f"src{relation_index // 2 + 1}"
+        if position in sc_positions:
+            payload = RenameRelation(
+                schema.name, f"{schema.name}__v{position}"
+            )
+        else:
+            delta = Delta.insertion(
+                schema, [(position, "x", 1.0, position)]
+            )
+            payload = DataUpdate(schema.name, delta)
+        messages.append(
+            UpdateMessage(source, position + 1, float(position), payload)
+        )
+    return messages
+
+
+def run_graph_scaling_ablation(
+    sizes: tuple[tuple[int, int], ...] = (
+        (100, 5),
+        (200, 10),
+        (400, 20),
+        (800, 40),
+        (1600, 80),
+    ),
+) -> FigureResult:
+    """Wall-clock scaling of dependency-graph construction (O(mn))."""
+    view_query = build_testbed(
+        PESSIMISTIC, tuples_per_relation=4
+    ).manager.view.query
+
+    result = FigureResult(
+        figure_id="ABL-2",
+        title="Dependency graph construction scaling (wall-clock ms)",
+        x_label="n_updates",
+        series_names=["m_schema_changes", "edges", "build_ms"],
+    )
+    for n_updates, n_schema_changes in sizes:
+        messages = _synthetic_queue(n_updates, n_schema_changes)
+        started = time.perf_counter()
+        dependencies = find_dependencies(messages, view_query)
+        elapsed_ms = (time.perf_counter() - started) * 1000
+        result.add(
+            n_updates,
+            m_schema_changes=float(n_schema_changes),
+            edges=float(len(dependencies)),
+            build_ms=elapsed_ms,
+        )
+    return result

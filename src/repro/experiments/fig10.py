@@ -1,0 +1,78 @@
+"""Figure 10 — effect of the schema-change time interval on abort cost.
+
+Workload (Section 6.4.1): 200 data updates plus ten schema changes (one
+drop-attribute followed by nine rename-relations, randomly placed over
+the six relations), varying the interval between consecutive schema
+changes.
+
+Expected shape:
+
+* interval 0 (all SCs flood in before maintenance starts) is cheapest —
+  one correction round fixes everything, no broken queries;
+* cost peaks when the interval approximates one schema-change
+  maintenance time (each new SC lands near the end of the ongoing
+  maintenance, wasting almost a whole run);
+* beyond the maintenance time the SCs stop interfering and the cost
+  settles at pure maintenance.
+"""
+
+from __future__ import annotations
+
+from ..core.strategies import OPTIMISTIC, PESSIMISTIC
+from ..views.consistency import check_convergence
+from .runner import FigureResult
+from .testbed import build_testbed
+
+DEFAULT_INTERVALS = (0.0, 3.0, 9.0, 17.0, 23.0, 29.0, 41.0)
+QUICK_INTERVALS = (0.0, 17.0, 41.0)
+
+
+def run_figure(
+    intervals: tuple[float, ...] = DEFAULT_INTERVALS,
+    du_count: int = 200,
+    sc_count: int = 10,
+    tuples_per_relation: int = 2000,
+    du_interval: float = 0.5,
+    seed: int = 7,
+) -> FigureResult:
+    result = FigureResult(
+        figure_id="FIG-10",
+        title="Maintenance + abort cost vs SC time interval (virtual s)",
+        x_label="interval_s",
+        series_names=[
+            "optimistic",
+            "abort_of_optimistic",
+            "pessimistic",
+            "abort_of_pessimistic",
+        ],
+    )
+    for interval in intervals:
+        values: dict[str, float] = {}
+        for name, strategy in (
+            ("optimistic", OPTIMISTIC),
+            ("pessimistic", PESSIMISTIC),
+        ):
+            testbed = build_testbed(
+                strategy, tuples_per_relation=tuples_per_relation
+            )
+            testbed.engine.schedule_workload(
+                testbed.random_du_workload(
+                    du_count, start=0.0, interval=du_interval, seed=seed
+                )
+            )
+            testbed.engine.schedule_workload(
+                testbed.schema_change_workload(
+                    sc_count, start=0.0, interval=interval, seed=seed + 4
+                )
+            )
+            testbed.run()
+            values[name] = testbed.metrics.maintenance_cost
+            values[f"abort_of_{name}"] = testbed.metrics.abort_cost
+            report = check_convergence(testbed.manager)
+            if not report.consistent:
+                result.consistent = False
+                result.notes.append(
+                    f"{name} interval={interval}: {report.summary()}"
+                )
+        result.add(interval, **values)
+    return result

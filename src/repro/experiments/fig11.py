@@ -1,0 +1,73 @@
+"""Figure 11 — effect of the number of schema changes on abort cost.
+
+Workload (Section 6.4.1): 200 data updates plus a varying number of
+schema changes (one drop-attribute followed by rename-relations) spaced
+25 virtual seconds apart — just inside one schema-change maintenance
+time, so each new change can break the ongoing maintenance.
+
+Expected shape: the abort cost (and with it the total) grows with the
+number of schema changes for both strategies, since more changes mean
+more conflicts between them.
+"""
+
+from __future__ import annotations
+
+from ..core.strategies import OPTIMISTIC, PESSIMISTIC
+from ..views.consistency import check_convergence
+from .runner import FigureResult
+from .testbed import build_testbed
+
+DEFAULT_SC_COUNTS = (5, 10, 15, 20, 25)
+QUICK_SC_COUNTS = (5, 15)
+SC_INTERVAL = 25.0
+
+
+def run_figure(
+    sc_counts: tuple[int, ...] = DEFAULT_SC_COUNTS,
+    du_count: int = 200,
+    sc_interval: float = SC_INTERVAL,
+    tuples_per_relation: int = 2000,
+    du_interval: float = 0.5,
+    seed: int = 7,
+) -> FigureResult:
+    result = FigureResult(
+        figure_id="FIG-11",
+        title="Maintenance + abort cost vs #schema changes (virtual s)",
+        x_label="#SCs",
+        series_names=[
+            "optimistic",
+            "abort_of_optimistic",
+            "pessimistic",
+            "abort_of_pessimistic",
+        ],
+    )
+    for count in sc_counts:
+        values: dict[str, float] = {}
+        for name, strategy in (
+            ("optimistic", OPTIMISTIC),
+            ("pessimistic", PESSIMISTIC),
+        ):
+            testbed = build_testbed(
+                strategy, tuples_per_relation=tuples_per_relation
+            )
+            testbed.engine.schedule_workload(
+                testbed.random_du_workload(
+                    du_count, start=0.0, interval=du_interval, seed=seed
+                )
+            )
+            testbed.engine.schedule_workload(
+                testbed.schema_change_workload(
+                    count, start=0.0, interval=sc_interval, seed=seed + 4
+                )
+            )
+            testbed.run()
+            values[name] = testbed.metrics.maintenance_cost
+            values[f"abort_of_{name}"] = testbed.metrics.abort_cost
+            report = check_convergence(testbed.manager)
+            if not report.consistent:
+                result.consistent = False
+                result.notes.append(
+                    f"{name} #SC={count}: {report.summary()}"
+                )
+        result.add(count, **values)
+    return result

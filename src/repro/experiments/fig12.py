@@ -1,0 +1,73 @@
+"""Figure 12 — effect of the number of data updates on abort cost.
+
+Workload (Section 6.4.2): five schema changes (one drop-attribute
+followed by four rename-relations) at a fixed 25-second interval, with a
+varying number of data updates.
+
+Expected shape: the abort cost stays roughly flat as data updates grow —
+aborts are caused by schema changes, not data volume — while the total
+maintenance cost grows linearly with the number of data updates.
+"""
+
+from __future__ import annotations
+
+from ..core.strategies import OPTIMISTIC, PESSIMISTIC
+from ..views.consistency import check_convergence
+from .runner import FigureResult
+from .testbed import build_testbed
+
+DEFAULT_DU_COUNTS = (200, 300, 400, 500, 600)
+QUICK_DU_COUNTS = (200, 400)
+SC_COUNT = 5
+SC_INTERVAL = 25.0
+
+
+def run_figure(
+    du_counts: tuple[int, ...] = DEFAULT_DU_COUNTS,
+    sc_count: int = SC_COUNT,
+    sc_interval: float = SC_INTERVAL,
+    tuples_per_relation: int = 2000,
+    du_interval: float = 0.5,
+    seed: int = 7,
+) -> FigureResult:
+    result = FigureResult(
+        figure_id="FIG-12",
+        title="Maintenance + abort cost vs #data updates (virtual s)",
+        x_label="#DUs",
+        series_names=[
+            "optimistic",
+            "abort_of_optimistic",
+            "pessimistic",
+            "abort_of_pessimistic",
+        ],
+    )
+    for count in du_counts:
+        values: dict[str, float] = {}
+        for name, strategy in (
+            ("optimistic", OPTIMISTIC),
+            ("pessimistic", PESSIMISTIC),
+        ):
+            testbed = build_testbed(
+                strategy, tuples_per_relation=tuples_per_relation
+            )
+            testbed.engine.schedule_workload(
+                testbed.random_du_workload(
+                    count, start=0.0, interval=du_interval, seed=seed
+                )
+            )
+            testbed.engine.schedule_workload(
+                testbed.schema_change_workload(
+                    sc_count, start=0.0, interval=sc_interval, seed=seed + 4
+                )
+            )
+            testbed.run()
+            values[name] = testbed.metrics.maintenance_cost
+            values[f"abort_of_{name}"] = testbed.metrics.abort_cost
+            report = check_convergence(testbed.manager)
+            if not report.consistent:
+                result.consistent = False
+                result.notes.append(
+                    f"{name} #DU={count}: {report.summary()}"
+                )
+        result.add(count, **values)
+    return result

@@ -1,0 +1,231 @@
+"""The experimental testbed of Section 6.1, scaled.
+
+Six relations ``R1..R6`` with four attributes each, evenly distributed
+over three source servers (two relations per server); the materialized
+view is a one-to-one equi-join of all six relations projecting all 24
+attributes.  The paper loads 100 000 tuples per relation on Oracle8i;
+we default to a configurable 2 000 tuples with per-tuple costs
+calibrated so virtual times land in the paper's regime (see
+:meth:`repro.sim.costs.CostModel.calibrated`).
+
+The one-to-one join is realized by a shared key domain ``1..n`` on the
+first attribute ``K`` of every relation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.scheduler import DynoScheduler
+from ..core.strategies import Strategy
+from ..relational.predicate import AttrRef
+from ..relational.query import JoinCondition, RelationRef, SPJQuery
+from ..relational.schema import RelationSchema
+from ..relational.types import AttributeType
+from ..sim.costs import CostModel
+from ..sim.engine import SimEngine
+from ..sources.source import DataSource
+from ..sources.workload import (
+    DeleteRandomRow,
+    DropRandomAttribute,
+    FixedUpdate,
+    InsertRandomRow,
+    RenameRandomRelation,
+    Workload,
+)
+from ..sources.messages import DropAttribute, RenameRelation
+from ..views.definition import ViewDefinition
+from ..views.manager import ViewManager
+
+RELATION_COUNT = 6
+SOURCE_COUNT = 3
+
+
+def relation_name(index: int) -> str:
+    return f"R{index + 1}"
+
+
+def source_name(index: int) -> str:
+    return f"src{index + 1}"
+
+
+def source_of_relation(index: int) -> str:
+    """Relations are distributed round-robin two per server."""
+    return source_name(index // (RELATION_COUNT // SOURCE_COUNT))
+
+
+def relation_schema(index: int) -> RelationSchema:
+    name = relation_name(index)
+    return RelationSchema.of(
+        name,
+        [
+            ("K", AttributeType.INT),
+            (f"A{index + 1}", AttributeType.STRING),
+            (f"B{index + 1}", AttributeType.FLOAT),
+            (f"C{index + 1}", AttributeType.INT),
+        ],
+    )
+
+
+@dataclass
+class Testbed:
+    """One instantiated experimental environment."""
+
+    engine: SimEngine
+    manager: ViewManager
+    scheduler: DynoScheduler
+    tuples_per_relation: int
+    rng: random.Random = field(repr=False, default_factory=random.Random)
+
+    @property
+    def metrics(self):
+        return self.engine.metrics
+
+    # ------------------------------------------------------------------
+    # workload helpers
+    # ------------------------------------------------------------------
+
+    def current_source_of(self, base_relation: str) -> str:
+        """Which source hosts (a possibly renamed version of) R_i."""
+        for source in self.engine.sources.values():
+            for name in source.catalog.relation_names:
+                if name == base_relation or name.startswith(
+                    base_relation + "__v"
+                ):
+                    return source.name
+        raise KeyError(base_relation)
+
+    def random_du_workload(
+        self,
+        count: int,
+        start: float,
+        interval: float,
+        insert_fraction: float = 0.8,
+        seed: int = 7,
+    ) -> Workload:
+        """Mixed insert/delete data updates, keys drawn from the live
+        key domain so most updates touch the view."""
+        rng = random.Random(seed)
+        n = self.tuples_per_relation
+        workload = Workload()
+        for index in range(count):
+            at = start + index * interval
+            source_index = rng.randrange(SOURCE_COUNT)
+            source = source_name(source_index)
+            if rng.random() < insert_fraction:
+                intent = InsertRandomRow(
+                    rng, key_factory=lambda r, n=n: r.randrange(1, n + 1)
+                )
+            else:
+                intent = DeleteRandomRow(rng)
+            workload.add(at, source, intent)
+        return workload
+
+    def schema_change_workload(
+        self,
+        count: int,
+        start: float,
+        interval: float,
+        seed: int = 11,
+        drop_first: bool = True,
+    ) -> Workload:
+        """``count`` schema changes: one drop-attribute followed by
+        rename-relation operations, randomly placed over the six
+        relations (the Section 6.4 mixture)."""
+        rng = random.Random(seed)
+        workload = Workload()
+        for index in range(count):
+            at = start + index * interval
+            source = source_name(rng.randrange(SOURCE_COUNT))
+            if index == 0 and drop_first:
+                intent = DropRandomAttribute(rng)
+            else:
+                intent = RenameRandomRelation(rng)
+            workload.add(at, source, intent)
+        return workload
+
+    def run(self) -> None:
+        """Schedule nothing more; drive the scheduler to quiescence."""
+        self.scheduler.run()
+
+
+def build_testbed(
+    strategy: Strategy,
+    tuples_per_relation: int = 2000,
+    cost_model: CostModel | None = None,
+    seed: int = 3,
+    backend: str = "memory",
+) -> Testbed:
+    """Create sources, load data, define the 6-way join view.
+
+    ``backend`` selects the source implementation: ``"memory"`` (the
+    default in-process engine) or ``"sqlite"`` (stdlib ``sqlite3``
+    storage and SQL query answering) — the whole evaluation runs on
+    either.
+    """
+    cost = cost_model or CostModel.calibrated(tuples_per_relation)
+    engine = SimEngine(cost)
+    rng = random.Random(seed)
+
+    if backend == "memory":
+        make_source = DataSource
+    elif backend == "sqlite":
+        from ..sources.sqlite_source import SqliteDataSource
+
+        make_source = SqliteDataSource
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+    sources = [
+        engine.add_source(make_source(source_name(i)))
+        for i in range(SOURCE_COUNT)
+    ]
+    for index in range(RELATION_COUNT):
+        schema = relation_schema(index)
+        owner = sources[index // (RELATION_COUNT // SOURCE_COUNT)]
+        rows = [
+            (
+                key,
+                f"a{index}-{key}",
+                round(rng.uniform(0, 1000), 2),
+                rng.randrange(10_000),
+            )
+            for key in range(1, tuples_per_relation + 1)
+        ]
+        owner.create_relation(schema, rows)
+
+    relations = tuple(
+        RelationRef(
+            source_of_relation(index), relation_name(index), f"T{index + 1}"
+        )
+        for index in range(RELATION_COUNT)
+    )
+    projection = tuple(
+        AttrRef(f"T{index + 1}", attribute)
+        for index in range(RELATION_COUNT)
+        for attribute in relation_schema(index).attribute_names
+    )
+    joins = tuple(
+        JoinCondition(
+            AttrRef(f"T{index + 1}", "K"), AttrRef(f"T{index + 2}", "K")
+        )
+        for index in range(RELATION_COUNT - 1)
+    )
+    view = ViewDefinition("V", SPJQuery(relations, projection, joins))
+    manager = ViewManager(engine, view)
+    scheduler = DynoScheduler(manager, strategy)
+    return Testbed(engine, manager, scheduler, tuples_per_relation, rng)
+
+
+def fixed_drop_attribute(
+    relation_index: int, attribute: str | None = None
+) -> FixedUpdate:
+    """A deterministic drop of one non-key attribute of R_{i+1}."""
+    name = relation_name(relation_index)
+    target = attribute or f"B{relation_index + 1}"
+    return FixedUpdate(DropAttribute(name, target))
+
+
+def fixed_rename_relation(relation_index: int, version: int = 2) -> FixedUpdate:
+    name = relation_name(relation_index)
+    return FixedUpdate(RenameRelation(name, f"{name}__v{version}"))

@@ -1,0 +1,54 @@
+"""Maintenance algorithms: VM (with compensation), VS, VA, batching."""
+
+from .batch import (
+    combine_schema_changes,
+    data_updates_of,
+    homogenize_data_updates,
+    schema_changes_of,
+)
+from .compensation import (
+    CompensationLog,
+    compensate_answer,
+    effect_on_answer,
+    pending_data_updates,
+)
+from .decompose import (
+    bfs_alias_order,
+    needed_columns,
+    probe_query,
+    pushdown_selection,
+    scan_query,
+    subquery_over,
+)
+from .va import adapt_view, telescoping_delta
+from .vm import maintain_data_update
+from .vs import (
+    RewriteReport,
+    SynchronizationResult,
+    ViewSynchronizationError,
+    ViewSynchronizer,
+)
+
+__all__ = [
+    "CompensationLog",
+    "RewriteReport",
+    "SynchronizationResult",
+    "ViewSynchronizationError",
+    "ViewSynchronizer",
+    "adapt_view",
+    "bfs_alias_order",
+    "combine_schema_changes",
+    "compensate_answer",
+    "data_updates_of",
+    "effect_on_answer",
+    "homogenize_data_updates",
+    "maintain_data_update",
+    "needed_columns",
+    "pending_data_updates",
+    "probe_query",
+    "pushdown_selection",
+    "scan_query",
+    "schema_changes_of",
+    "subquery_over",
+    "telescoping_delta",
+]

@@ -1,0 +1,268 @@
+"""Preprocessing of merged update batches (Section 5).
+
+When dependency correction merges a cycle into one batch unit, the batch
+is maintained atomically.  Preprocessing first partitions the batch per
+source into a data-update subgroup and a schema-change subgroup, then
+
+* **combines** the schema changes of each source — ``rename A to B``
+  then ``rename B to C`` collapses to ``rename A to C``; a rename
+  followed by a drop collapses to a drop of the original name — so the
+  view definition is rewritten as few times as possible; and
+* **homogenizes** the data updates — tuples committed under different
+  schema versions are projected onto the attributes of the final
+  (rewritten) schema so they can be merged into one delta per relation
+  ("insert (3,4)", drop first attribute, "insert (5)" becomes
+  "insert (4),(5)").
+
+Combination falls back to the original sequence whenever a change type
+it cannot compose symbolically (restructure/create) is present; applying
+schema changes one by one is always correct, composition is the
+optimization the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..relational.delta import Delta
+from ..relational.schema import RelationSchema
+from ..sources.messages import (
+    AddAttribute,
+    CreateRelation,
+    DataUpdate,
+    DropAttribute,
+    DropRelation,
+    RenameAttribute,
+    RenameRelation,
+    RestructureRelations,
+    SchemaChange,
+    UpdateMessage,
+)
+from ..views.umq import MaintenanceUnit
+
+
+@dataclass
+class _RelationState:
+    """Symbolic evolution of one relation during combination."""
+
+    original_name: str
+    current_name: str
+    #: original attribute name -> current name (dropped ones removed)
+    attr_names: dict[str, str]
+    dropped: bool = False
+    dropped_message: DropRelation | None = None
+    new_attributes: list[AddAttribute] = field(default_factory=list)
+
+
+def combine_schema_changes(
+    changes: list[tuple[str, SchemaChange]],
+) -> list[tuple[str, SchemaChange]]:
+    """Combine a per-commit-order list of ``(source, change)`` pairs.
+
+    Returns an equivalent, usually shorter list expressed against the
+    *original* names (the names the current view definition knows), so
+    it can be applied to the definition front to back.
+    """
+    if any(
+        isinstance(change, (RestructureRelations, CreateRelation))
+        for _source, change in changes
+    ):
+        return list(changes)  # conservative fallback: apply sequentially
+
+    # Simulate the schema evolution per (source, relation).
+    states: list[tuple[str, _RelationState]] = []
+
+    def state_for(source: str, name: str) -> _RelationState:
+        for owner, state in states:
+            if (
+                owner == source
+                and state.current_name == name
+                and not state.dropped
+            ):
+                return state
+        state = _RelationState(name, name, {})
+        states.append((source, state))
+        return state
+
+    def attr_key(state: _RelationState, current: str) -> str | None:
+        for original, now in state.attr_names.items():
+            if now == current:
+                return original
+        return None
+
+    for source, change in changes:
+        if isinstance(change, RenameRelation):
+            state = state_for(source, change.old)
+            state.current_name = change.new
+        elif isinstance(change, RenameAttribute):
+            state = state_for(source, change.relation)
+            # Renaming an attribute ADDED earlier in the batch folds
+            # into the addition itself (the attribute has no original
+            # name to rename against).
+            for index, added in enumerate(state.new_attributes):
+                if added.attribute.name == change.old:
+                    state.new_attributes[index] = AddAttribute(
+                        added.relation,
+                        added.attribute.renamed(change.new),
+                        added.default,
+                    )
+                    break
+            else:
+                original = attr_key(state, change.old) or change.old
+                state.attr_names[original] = change.new
+        elif isinstance(change, DropAttribute):
+            state = state_for(source, change.relation)
+            # Dropping an attribute ADDED earlier in the batch cancels
+            # the addition entirely.
+            for index, added in enumerate(state.new_attributes):
+                if added.attribute.name == change.attribute:
+                    del state.new_attributes[index]
+                    break
+            else:
+                original = (
+                    attr_key(state, change.attribute) or change.attribute
+                )
+                state.attr_names[original] = ""  # tombstone
+        elif isinstance(change, AddAttribute):
+            state = state_for(source, change.relation)
+            state.new_attributes.append(change)
+        elif isinstance(change, DropRelation):
+            state = state_for(source, change.relation)
+            state.dropped = True
+            state.dropped_message = change
+        else:  # pragma: no cover - excluded by the fallback above
+            raise AssertionError(f"uncombinable change {change!r}")
+
+    # Emit the minimal equivalent sequence per relation.  Ordering is
+    # chosen so the emitted sequence is applicable step by step:
+    #
+    # 1. drops whose name is some rename's *target* (the target slot
+    #    must be vacated before the rename lands);
+    # 2. renames;
+    # 3. additions (before the remaining drops, so a relation whose
+    #    original attributes all go away is never transiently empty);
+    # 4. the remaining drops;
+    # 5. the relation-level rename last.
+    #
+    # Rename *swaps* (a→b together with b→a) cannot be expressed without
+    # temporaries; when one is detected the whole batch falls back to
+    # the original (always-applicable) sequence.
+    combined: list[tuple[str, SchemaChange]] = []
+    for source, state in states:
+        if state.dropped:
+            message = state.dropped_message
+            assert message is not None
+            combined.append(
+                (source, DropRelation(state.original_name,
+                                      message.dropped_extent))
+            )
+            continue
+        renames = {
+            original: now
+            for original, now in state.attr_names.items()
+            if now != "" and now != original
+        }
+        drops = [
+            original
+            for original, now in state.attr_names.items()
+            if now == ""
+        ]
+        sources_of_renames = set(renames)
+        if any(target in sources_of_renames for target in renames.values()):
+            return list(changes)  # swap detected: emit uncombined
+
+        rename_targets = set(renames.values())
+        early_drops = [name for name in drops if name in rename_targets]
+        late_drops = [name for name in drops if name not in rename_targets]
+
+        for name in early_drops:
+            combined.append(
+                (source, DropAttribute(state.original_name, name))
+            )
+        for original, now in renames.items():
+            combined.append(
+                (
+                    source,
+                    RenameAttribute(state.original_name, original, now),
+                )
+            )
+        for added in state.new_attributes:
+            combined.append(
+                (
+                    source,
+                    AddAttribute(
+                        state.original_name, added.attribute, added.default
+                    ),
+                )
+            )
+        for name in late_drops:
+            combined.append(
+                (source, DropAttribute(state.original_name, name))
+            )
+        if state.current_name != state.original_name:
+            combined.append(
+                (
+                    source,
+                    RenameRelation(state.original_name, state.current_name),
+                )
+            )
+    return combined
+
+
+def schema_changes_of(unit: MaintenanceUnit) -> list[tuple[str, SchemaChange]]:
+    """The batch's schema changes in commit order, with their sources."""
+    return [
+        (message.source, message.payload)
+        for message in unit.messages
+        if isinstance(message.payload, SchemaChange)
+    ]
+
+
+def data_updates_of(unit: MaintenanceUnit) -> list[UpdateMessage]:
+    return [
+        message for message in unit.messages if message.is_data_update
+    ]
+
+
+def homogenize_data_updates(
+    updates: list[UpdateMessage],
+    final_schemas: dict[tuple[str, str], RelationSchema],
+    name_map: dict[tuple[str, str], str],
+) -> dict[tuple[str, str], Delta]:
+    """Merge per-relation data updates across schema versions.
+
+    ``final_schemas`` maps ``(source, final_relation_name)`` to the
+    relation's final schema; ``name_map`` maps ``(source,
+    commit_time_name)`` to the final name.  Each delta row is projected
+    by *attribute name* onto the final schema (missing attributes become
+    NULL, dropped ones disappear), then merged into one delta per final
+    relation — the "homogeneous update tuples that can be merged" of
+    Section 5.
+    """
+    merged: dict[tuple[str, str], Delta] = {}
+    for message in updates:
+        payload = message.payload
+        assert isinstance(payload, DataUpdate)
+        final_name = name_map.get(
+            (message.source, payload.relation), payload.relation
+        )
+        key = (message.source, final_name)
+        final_schema = final_schemas.get(key)
+        if final_schema is None:
+            continue  # relation dropped without replacement
+        target = merged.setdefault(key, Delta(final_schema))
+        source_names = payload.delta.schema.attribute_names
+        positions: list[int | None] = []
+        for attribute in final_schema.attribute_names:
+            positions.append(
+                source_names.index(attribute)
+                if attribute in source_names
+                else None
+            )
+        for row, count in payload.delta.items():
+            projected = tuple(
+                row[position] if position is not None else None
+                for position in positions
+            )
+            target.add(projected, count)
+    return merged

@@ -1,0 +1,174 @@
+"""Decomposing a view query into per-source maintenance queries.
+
+Definition 1: maintaining an update means reading the view definition,
+decomposing the view query into individual source queries, probing each
+source, and assembling the answers locally.  This module owns the
+decomposition: which columns of each relation the view manager needs,
+which selection conjuncts can be pushed to a source, and how to build
+probe (IN-list) and scan queries for one alias.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..relational.predicate import (
+    TRUE,
+    AttrRef,
+    Conjunction,
+    InPredicate,
+    Predicate,
+    conjunction,
+)
+from ..relational.query import RelationRef, SPJQuery
+
+
+def needed_columns(query: SPJQuery, alias: str) -> tuple[str, ...]:
+    """Attributes of ``alias`` the view manager needs (projection order
+    first, then join/selection attributes)."""
+    ordered: list[str] = []
+    seen: set[str] = set()
+    for ref in query.projection:
+        if ref.relation == alias and ref.name not in seen:
+            ordered.append(ref.name)
+            seen.add(ref.name)
+    for ref in sorted(
+        query.all_attribute_refs(), key=lambda r: (r.relation or "", r.name)
+    ):
+        if ref.relation == alias and ref.name not in seen:
+            ordered.append(ref.name)
+            seen.add(ref.name)
+    return tuple(ordered)
+
+
+def selection_conjuncts(query: SPJQuery) -> list[Predicate]:
+    selection = query.selection
+    if selection is TRUE:
+        return []
+    if isinstance(selection, Conjunction):
+        return list(selection.children)
+    return [selection]
+
+
+def pushdown_selection(query: SPJQuery, alias: str) -> Predicate:
+    """Conjuncts of the view selection referencing only ``alias``."""
+    terms = [
+        term
+        for term in selection_conjuncts(query)
+        if {ref.relation for ref in term.references()} == {alias}
+    ]
+    return conjunction(terms)
+
+
+def selection_within(query: SPJQuery, aliases: set[str]) -> Predicate:
+    """Conjuncts whose references fall entirely inside ``aliases``."""
+    terms = [
+        term
+        for term in selection_conjuncts(query)
+        if {ref.relation for ref in term.references()} <= aliases
+    ]
+    return conjunction(terms)
+
+
+def probe_query(
+    query: SPJQuery,
+    alias: str,
+    probes: dict[str, frozenset],
+) -> SPJQuery:
+    """A single-relation probe: needed columns of ``alias`` where each
+    probe attribute is IN its value list, plus pushdown selection."""
+    ref = query.relation_ref(alias)
+    predicates: list[Predicate] = [pushdown_selection(query, alias)]
+    for attribute, values in sorted(probes.items()):
+        predicates.append(InPredicate(AttrRef(alias, attribute), values))
+    return SPJQuery(
+        relations=(ref,),
+        projection=tuple(
+            AttrRef(alias, name) for name in needed_columns(query, alias)
+        ),
+        joins=(),
+        selection=conjunction(predicates),
+    )
+
+
+def scan_query(query: SPJQuery, alias: str) -> SPJQuery:
+    """A full single-relation read of the needed columns of ``alias``."""
+    ref = query.relation_ref(alias)
+    return SPJQuery(
+        relations=(ref,),
+        projection=tuple(
+            AttrRef(alias, name) for name in needed_columns(query, alias)
+        ),
+        joins=(),
+        selection=pushdown_selection(query, alias),
+    )
+
+
+def subquery_over(
+    query: SPJQuery,
+    aliases: list[str],
+    projection: tuple[AttrRef, ...],
+) -> SPJQuery:
+    """The view query restricted to a subset of aliases."""
+    alias_set = set(aliases)
+    relations = tuple(
+        ref for ref in query.relations if ref.alias in alias_set
+    )
+    joins = tuple(
+        join
+        for join in query.joins
+        if join.left.relation in alias_set and join.right.relation in alias_set
+    )
+    return SPJQuery(
+        relations=relations,
+        projection=projection,
+        joins=joins,
+        selection=selection_within(query, alias_set),
+    )
+
+
+def bfs_alias_order(query: SPJQuery, start_alias: str) -> list[str]:
+    """Aliases in breadth-first order over the join graph from ``start``.
+
+    Aliases unreachable from the start (disconnected join graph) are
+    appended at the end in query order; callers fetch them with full
+    scans instead of probes.
+    """
+    adjacency: dict[str, set[str]] = {alias: set() for alias in query.aliases}
+    for join in query.joins:
+        left = join.left.relation
+        right = join.right.relation
+        adjacency[left].add(right)  # type: ignore[index]
+        adjacency[right].add(left)  # type: ignore[index]
+    order: list[str] = []
+    seen: set[str] = set()
+    queue: deque[str] = deque([start_alias])
+    seen.add(start_alias)
+    while queue:
+        alias = queue.popleft()
+        order.append(alias)
+        for neighbour in sorted(adjacency[alias]):
+            if neighbour not in seen:
+                seen.add(neighbour)
+                queue.append(neighbour)
+    for alias in query.aliases:
+        if alias not in seen:
+            order.append(alias)
+            seen.add(alias)
+    return order
+
+
+def connecting_joins(
+    query: SPJQuery, alias: str, visited: set[str]
+) -> list:
+    """Join conditions linking ``alias`` to already-visited aliases."""
+    return [
+        join
+        for join in query.joins
+        if join.touches(alias)
+        and join.other_side(alias).relation in visited
+    ]
+
+
+def owner_ref(query: SPJQuery, alias: str) -> RelationRef:
+    return query.relation_ref(alias)

@@ -1,0 +1,172 @@
+"""View maintenance (VM) for data updates: the probe sweep.
+
+Given a data update Δ on one relation, the maintenance process (the
+``M(DU)`` of Definition 1):
+
+1. reads the view definition,
+2. walks the view's join graph breadth-first from the updated relation,
+   probing each other relation with an IN-list built from the partially
+   joined result so far (the per-source queries ``r(DS1)..r(DSn)``),
+3. compensates every answer for concurrent data updates that leaked in
+   (SWEEP-style, see :mod:`repro.maintenance.compensation`),
+4. assembles the view delta locally with the bag-semantics executor, and
+5. returns the delta for the scheduler to write and commit (``w(MV)``,
+   ``c(MV)``).
+
+The process is a generator of effects; a concurrent schema change makes
+one of the probes raise
+:class:`~repro.sources.errors.BrokenQueryError`, which propagates out of
+the generator — the scheduler's in-exec detection.
+"""
+
+from __future__ import annotations
+
+from ..relational.delta import Delta
+from ..relational.table import Table
+from ..relational.executor import execute
+from ..sim.effects import SourceQuery
+from ..sim.engine import MaintenanceProcess, QueryAnswer
+from ..sources.messages import DataUpdate
+from ..views.definition import ViewDefinition
+from ..views.umq import MaintenanceUnit, UpdateMessageQueue
+from .compensation import (
+    CompensationLog,
+    compensate_answer,
+    pending_data_updates,
+)
+from .decompose import (
+    bfs_alias_order,
+    connecting_joins,
+    probe_query,
+    scan_query,
+    subquery_over,
+)
+
+
+def _delta_part_as_table(delta: Delta, positive: bool) -> Table:
+    part = delta.insertions if positive else delta.deletions
+    table = Table(part.schema)
+    for row, count in part.items():
+        table.insert(row, count)
+    return table
+
+
+def _abs_table(delta: Delta) -> Table:
+    table = Table(delta.schema)
+    for row, count in delta.items():
+        table.insert(row, abs(count))
+    return table
+
+
+def _distinct_values(table: Table, column_positions: list[int]) -> list[frozenset]:
+    values: list[set] = [set() for _ in column_positions]
+    for row in table:
+        for index, position in enumerate(column_positions):
+            values[index].add(row[position])
+    return [frozenset(collected) for collected in values]
+
+
+def maintain_data_update(
+    view: ViewDefinition,
+    unit: MaintenanceUnit,
+    umq: UpdateMessageQueue,
+    log: CompensationLog | None = None,
+) -> MaintenanceProcess:
+    """Maintenance process for a single data update unit.
+
+    Returns (via StopIteration) the signed view delta, or ``None`` when
+    the update does not involve the view.
+    """
+    message = unit.head_message
+    payload = message.payload
+    assert isinstance(payload, DataUpdate)
+    query = view.query
+
+    occurrences = [
+        ref
+        for ref in query.relations
+        if ref.source == message.source and ref.relation == payload.relation
+    ]
+    if not occurrences or payload.delta.is_empty():
+        return None
+
+    total: Delta | None = None
+    for k_ref in occurrences:
+        delta_alias = k_ref.alias
+        bindings: dict[str, Table] = {delta_alias: _abs_table(payload.delta)}
+        order = bfs_alias_order(query, delta_alias)
+        visited: set[str] = {delta_alias}
+
+        for alias in order[1:]:
+            ref = query.relation_ref(alias)
+            joins = connecting_joins(query, alias, visited)
+            if joins:
+                # IN-list values come from the partial join over what we
+                # have so far.
+                target_attrs = tuple(
+                    join.other_side(alias) for join in joins
+                )
+                partial = subquery_over(query, sorted(visited), target_attrs)
+                context = execute(
+                    partial,
+                    {a: bindings[a] for a in visited},
+                )
+                positions = list(range(len(target_attrs)))
+                value_sets = _distinct_values(context, positions)
+                probes = {
+                    join.attr_of(alias).name: value_sets[index]
+                    for index, join in enumerate(joins)
+                }
+                source_query = probe_query(query, alias, probes)
+            else:
+                # Disconnected relation: full scan.
+                source_query = scan_query(query, alias)
+
+            answer = yield SourceQuery(ref.source, source_query)
+            assert isinstance(answer, QueryAnswer)
+
+            leaked = pending_data_updates(
+                umq.messages_behind(unit),
+                ref.source,
+                ref.relation,
+                answer.answered_at,
+            )
+            # Self-join rule: probes of *later* occurrences of the
+            # updated relation must see the pre-update state, so the
+            # update's own delta is compensated away there; earlier
+            # occurrences keep the post-update state.
+            extra: list[Delta] = []
+            occurrence_aliases = [other.alias for other in occurrences]
+            if alias in occurrence_aliases:
+                own_position = occurrence_aliases.index(delta_alias)
+                alias_position = occurrence_aliases.index(alias)
+                if alias_position > own_position:
+                    extra.append(payload.delta)
+
+            bindings[alias] = compensate_answer(
+                answer.table, source_query, alias, leaked, log, extra
+            )
+            visited.add(alias)
+
+        positive = execute(
+            query,
+            {
+                **bindings,
+                delta_alias: _delta_part_as_table(payload.delta, True),
+            },
+        )
+        negative = execute(
+            query,
+            {
+                **bindings,
+                delta_alias: _delta_part_as_table(payload.delta, False),
+            },
+        )
+        contribution = positive.as_delta()
+        contribution.merge(negative.as_delta().negated())
+        if total is None:
+            total = contribution
+        else:
+            total.merge(contribution)
+
+    return total

@@ -1,0 +1,81 @@
+"""In-memory relational engine: the storage/query substrate.
+
+This package implements everything the paper's Oracle8i testbed provided:
+typed schemas, bag-semantics tables, deltas with signed multiplicities,
+an SPJ query AST with the structural rewrites view synchronization needs,
+and a hash-join executor.
+"""
+
+from .catalog import Catalog
+from .delta import Delta, Row
+from .errors import (
+    AmbiguousAttributeError,
+    ArityError,
+    DataError,
+    DuplicateAttributeError,
+    DuplicateRelationError,
+    QueryError,
+    RelationalError,
+    ReproError,
+    SchemaError,
+    TypeMismatchError,
+    UnknownAttributeError,
+    UnknownRelationError,
+)
+from .executor import execute
+from .predicate import (
+    TRUE,
+    AttrComparison,
+    AttrRef,
+    Comparison,
+    Conjunction,
+    InPredicate,
+    Negation,
+    Predicate,
+    attr,
+    conjunction,
+)
+from .query import JoinCondition, RelationRef, SPJQuery
+from .schema import Attribute, RelationSchema
+from .sql import parse_query, parse_view
+from .table import Table
+from .types import AttributeType, Value
+
+__all__ = [
+    "AmbiguousAttributeError",
+    "ArityError",
+    "AttrComparison",
+    "AttrRef",
+    "Attribute",
+    "AttributeType",
+    "Catalog",
+    "Comparison",
+    "Conjunction",
+    "DataError",
+    "Delta",
+    "DuplicateAttributeError",
+    "DuplicateRelationError",
+    "InPredicate",
+    "JoinCondition",
+    "Negation",
+    "Predicate",
+    "QueryError",
+    "RelationRef",
+    "RelationSchema",
+    "RelationalError",
+    "ReproError",
+    "Row",
+    "SPJQuery",
+    "SchemaError",
+    "TRUE",
+    "Table",
+    "TypeMismatchError",
+    "UnknownAttributeError",
+    "UnknownRelationError",
+    "Value",
+    "attr",
+    "conjunction",
+    "execute",
+    "parse_query",
+    "parse_view",
+]

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch library failures without masking programming errors.
+The relational layer distinguishes *schema* problems (the query refers to
+metadata that does not exist — the raw material of the paper's broken-query
+anomaly) from *data* problems (e.g. deleting a tuple that is not present).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class RelationalError(ReproError):
+    """Base class for errors raised by the relational engine."""
+
+
+class SchemaError(RelationalError):
+    """A schema definition or schema operation is invalid."""
+
+
+class UnknownRelationError(SchemaError):
+    """A query or operation referenced a relation that does not exist."""
+
+    def __init__(self, relation: str, source: str | None = None) -> None:
+        self.relation = relation
+        self.source = source
+        where = f" at source {source!r}" if source else ""
+        super().__init__(f"unknown relation {relation!r}{where}")
+
+
+class UnknownAttributeError(SchemaError):
+    """A query or operation referenced an attribute that does not exist."""
+
+    def __init__(self, attribute: str, relation: str | None = None) -> None:
+        self.attribute = attribute
+        self.relation = relation
+        where = f" in relation {relation!r}" if relation else ""
+        super().__init__(f"unknown attribute {attribute!r}{where}")
+
+
+class DuplicateAttributeError(SchemaError):
+    """Two attributes in one schema share a name."""
+
+
+class DuplicateRelationError(SchemaError):
+    """Two relations in one catalog share a name."""
+
+
+class TypeMismatchError(RelationalError):
+    """A value does not match the declared attribute type."""
+
+
+class ArityError(RelationalError):
+    """A tuple's width does not match its schema."""
+
+
+class DataError(RelationalError):
+    """A data-level operation failed (e.g. deleting an absent tuple)."""
+
+
+class AmbiguousAttributeError(SchemaError):
+    """An unqualified attribute name matched more than one relation."""
+
+
+class QueryError(RelationalError):
+    """A query is malformed independent of any particular schema state."""

@@ -1,0 +1,269 @@
+"""Predicate AST for selections and join conditions.
+
+Predicates are immutable trees over :class:`AttrRef` leaves.  Besides
+evaluation, every node supports two introspection operations the view
+manager relies on:
+
+* ``references()`` — which attributes the predicate touches.  This is how
+  dependency detection decides whether a schema change *conflicts* with
+  the view (Definition 3 only draws a concurrent-dependency edge when the
+  changed metadata is "included in the view query").
+* ``substituted()`` — rewriting attribute references, used by view
+  synchronization when relations or attributes are renamed or replaced.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from .errors import QueryError
+from .types import Value
+
+
+@dataclass(frozen=True)
+class AttrRef:
+    """A (possibly qualified) reference to a relation attribute.
+
+    ``relation`` is the *alias* of a relation in the enclosing query, or
+    ``None`` for an unqualified reference that the executor resolves.
+    """
+
+    relation: str | None
+    name: str
+
+    def qualified(self) -> str:
+        return f"{self.relation}.{self.name}" if self.relation else self.name
+
+    def with_relation(self, relation: str) -> "AttrRef":
+        return AttrRef(relation, self.name)
+
+    def renamed(self, name: str) -> "AttrRef":
+        return AttrRef(self.relation, name)
+
+    def __str__(self) -> str:
+        return self.qualified()
+
+
+Substitution = Mapping[AttrRef, AttrRef]
+Binding = Callable[[AttrRef], Value]
+
+_COMPARATORS: dict[str, Callable[[Value, Value], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Predicate:
+    """Abstract base of all predicate nodes."""
+
+    def evaluate(self, binding: Binding) -> bool:
+        raise NotImplementedError
+
+    def references(self) -> frozenset[AttrRef]:
+        raise NotImplementedError
+
+    def substituted(self, substitution: Substitution) -> "Predicate":
+        raise NotImplementedError
+
+    def sql(self) -> str:
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return conjunction([self, other])
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """The neutral predicate; selects everything."""
+
+    def evaluate(self, binding: Binding) -> bool:
+        return True
+
+    def references(self) -> frozenset[AttrRef]:
+        return frozenset()
+
+    def substituted(self, substitution: Substitution) -> Predicate:
+        return self
+
+    def sql(self) -> str:
+        return "TRUE"
+
+
+TRUE = TruePredicate()
+
+
+def _render_value(value: Value) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if value is None:
+        return "NULL"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``attr op constant`` comparison."""
+
+    attr: AttrRef
+    op: str
+    value: Value
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise QueryError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, binding: Binding) -> bool:
+        actual = binding(self.attr)
+        if actual is None or self.value is None:
+            # SQL three-valued logic collapsed to False for NULL operands,
+            # except IS-style equality on two NULLs which we do not need.
+            return False
+        return _COMPARATORS[self.op](actual, self.value)
+
+    def references(self) -> frozenset[AttrRef]:
+        return frozenset({self.attr})
+
+    def substituted(self, substitution: Substitution) -> Predicate:
+        return Comparison(
+            substitution.get(self.attr, self.attr), self.op, self.value
+        )
+
+    def sql(self) -> str:
+        return f"{self.attr.qualified()} {self.op} {_render_value(self.value)}"
+
+
+@dataclass(frozen=True)
+class AttrComparison(Predicate):
+    """``attr op attr`` comparison (equi-joins use op '=')."""
+
+    left: AttrRef
+    op: str
+    right: AttrRef
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise QueryError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, binding: Binding) -> bool:
+        left = binding(self.left)
+        right = binding(self.right)
+        if left is None or right is None:
+            return False
+        return _COMPARATORS[self.op](left, right)
+
+    def references(self) -> frozenset[AttrRef]:
+        return frozenset({self.left, self.right})
+
+    def substituted(self, substitution: Substitution) -> Predicate:
+        return AttrComparison(
+            substitution.get(self.left, self.left),
+            self.op,
+            substitution.get(self.right, self.right),
+        )
+
+    def sql(self) -> str:
+        return f"{self.left.qualified()} {self.op} {self.right.qualified()}"
+
+
+@dataclass(frozen=True)
+class InPredicate(Predicate):
+    """``attr IN (v1, v2, ...)`` — the workhorse of maintenance queries.
+
+    When the view manager probes a source for tuples joining with a delta,
+    it ships the delta's join values as an IN list (the "individual source
+    queries" of Definition 1).
+    """
+
+    attr: AttrRef
+    values: frozenset
+
+    def evaluate(self, binding: Binding) -> bool:
+        return binding(self.attr) in self.values
+
+    def references(self) -> frozenset[AttrRef]:
+        return frozenset({self.attr})
+
+    def substituted(self, substitution: Substitution) -> Predicate:
+        return InPredicate(
+            substitution.get(self.attr, self.attr), self.values
+        )
+
+    def sql(self) -> str:
+        rendered = ", ".join(
+            _render_value(value) for value in sorted(self.values, key=repr)
+        )
+        return f"{self.attr.qualified()} IN ({rendered})"
+
+
+@dataclass(frozen=True)
+class Conjunction(Predicate):
+    """AND of child predicates."""
+
+    children: tuple[Predicate, ...]
+
+    def evaluate(self, binding: Binding) -> bool:
+        return all(child.evaluate(binding) for child in self.children)
+
+    def references(self) -> frozenset[AttrRef]:
+        refs: frozenset[AttrRef] = frozenset()
+        for child in self.children:
+            refs |= child.references()
+        return refs
+
+    def substituted(self, substitution: Substitution) -> Predicate:
+        return conjunction(
+            [child.substituted(substitution) for child in self.children]
+        )
+
+    def sql(self) -> str:
+        return " AND ".join(child.sql() for child in self.children)
+
+
+@dataclass(frozen=True)
+class Negation(Predicate):
+    """NOT of a child predicate."""
+
+    child: Predicate
+
+    def evaluate(self, binding: Binding) -> bool:
+        return not self.child.evaluate(binding)
+
+    def references(self) -> frozenset[AttrRef]:
+        return self.child.references()
+
+    def substituted(self, substitution: Substitution) -> Predicate:
+        return Negation(self.child.substituted(substitution))
+
+    def sql(self) -> str:
+        return f"NOT ({self.child.sql()})"
+
+
+def conjunction(predicates: list[Predicate]) -> Predicate:
+    """AND a list of predicates, flattening and dropping TRUE."""
+    flattened: list[Predicate] = []
+    for predicate in predicates:
+        if isinstance(predicate, TruePredicate):
+            continue
+        if isinstance(predicate, Conjunction):
+            flattened.extend(predicate.children)
+        else:
+            flattened.append(predicate)
+    if not flattened:
+        return TRUE
+    if len(flattened) == 1:
+        return flattened[0]
+    return Conjunction(tuple(flattened))
+
+
+def attr(relation: str | None, name: str | None = None) -> AttrRef:
+    """Convenience constructor: ``attr("S", "SID")`` or ``attr("SID")``."""
+    if name is None:
+        return AttrRef(None, relation)  # type: ignore[arg-type]
+    return AttrRef(relation, name)

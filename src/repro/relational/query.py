@@ -1,0 +1,295 @@
+"""Select-project-join query AST.
+
+A :class:`SPJQuery` is pure data: relation references (each naming the
+*source* that owns the relation, matching the paper's distributed
+setting), equi-join conditions, a selection predicate and a projection
+list.  The view definition, maintenance queries and compensation queries
+are all SPJ queries; the executor (:mod:`repro.relational.executor`)
+evaluates them against bags of rows.
+
+The AST supports the structural rewrites view synchronization needs:
+renaming relations/attributes, replacing a relation wholesale, dropping
+attributes from the projection and pruning join conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .errors import QueryError, UnknownAttributeError
+from .predicate import (
+    TRUE,
+    AttrRef,
+    Predicate,
+    Substitution,
+    conjunction,
+)
+
+
+@dataclass(frozen=True)
+class RelationRef:
+    """A relation in a query: which source owns it, its name, its alias."""
+
+    source: str
+    relation: str
+    alias: str
+
+    def sql(self) -> str:
+        if self.alias == self.relation:
+            return self.relation
+        return f"{self.relation} {self.alias}"
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """Equi-join between two attributes of different relations."""
+
+    left: AttrRef
+    right: AttrRef
+
+    def __post_init__(self) -> None:
+        if self.left.relation is None or self.right.relation is None:
+            raise QueryError(
+                "join conditions must use qualified attribute references"
+            )
+
+    def references(self) -> frozenset[AttrRef]:
+        return frozenset({self.left, self.right})
+
+    def touches(self, alias: str) -> bool:
+        return alias in (self.left.relation, self.right.relation)
+
+    def attr_of(self, alias: str) -> AttrRef:
+        if self.left.relation == alias:
+            return self.left
+        if self.right.relation == alias:
+            return self.right
+        raise QueryError(f"join {self.sql()} does not touch alias {alias!r}")
+
+    def other_side(self, alias: str) -> AttrRef:
+        if self.left.relation == alias:
+            return self.right
+        if self.right.relation == alias:
+            return self.left
+        raise QueryError(f"join {self.sql()} does not touch alias {alias!r}")
+
+    def substituted(self, substitution: Substitution) -> "JoinCondition":
+        return JoinCondition(
+            substitution.get(self.left, self.left),
+            substitution.get(self.right, self.right),
+        )
+
+    def sql(self) -> str:
+        return f"{self.left.qualified()} = {self.right.qualified()}"
+
+
+@dataclass(frozen=True)
+class SPJQuery:
+    """A select-project-join query over distributed relations."""
+
+    relations: tuple[RelationRef, ...]
+    projection: tuple[AttrRef, ...]
+    joins: tuple[JoinCondition, ...] = ()
+    selection: Predicate = TRUE
+
+    def __post_init__(self) -> None:
+        if not self.relations:
+            raise QueryError("a query needs at least one relation")
+        aliases = [ref.alias for ref in self.relations]
+        if len(set(aliases)) != len(aliases):
+            raise QueryError(f"duplicate aliases in query: {aliases}")
+        known = set(aliases)
+        for ref in self.all_attribute_refs():
+            if ref.relation is not None and ref.relation not in known:
+                raise QueryError(
+                    f"attribute {ref.qualified()} references unknown "
+                    f"alias {ref.relation!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def aliases(self) -> tuple[str, ...]:
+        return tuple(ref.alias for ref in self.relations)
+
+    def relation_ref(self, alias: str) -> RelationRef:
+        for ref in self.relations:
+            if ref.alias == alias:
+                return ref
+        raise QueryError(f"no relation with alias {alias!r}")
+
+    def sources(self) -> frozenset[str]:
+        return frozenset(ref.source for ref in self.relations)
+
+    def relations_of_source(self, source: str) -> tuple[RelationRef, ...]:
+        return tuple(ref for ref in self.relations if ref.source == source)
+
+    def all_attribute_refs(self) -> frozenset[AttrRef]:
+        """Every attribute the query mentions anywhere."""
+        refs = set(self.projection)
+        refs |= self.selection.references()
+        for join in self.joins:
+            refs |= join.references()
+        return frozenset(refs)
+
+    def references_relation(self, source: str, relation: str) -> bool:
+        return any(
+            ref.source == source and ref.relation == relation
+            for ref in self.relations
+        )
+
+    def references_attribute(
+        self, source: str, relation: str, attribute: str
+    ) -> bool:
+        """Does the query mention ``relation.attribute`` at ``source``?"""
+        aliases = {
+            ref.alias
+            for ref in self.relations
+            if ref.source == source and ref.relation == relation
+        }
+        if not aliases:
+            return False
+        return any(
+            ref.relation in aliases and ref.name == attribute
+            for ref in self.all_attribute_refs()
+        )
+
+    def joins_touching(self, alias: str) -> tuple[JoinCondition, ...]:
+        return tuple(join for join in self.joins if join.touches(alias))
+
+    # ------------------------------------------------------------------
+    # structural rewrites (used by view synchronization)
+    # ------------------------------------------------------------------
+
+    def with_relation_renamed(
+        self, source: str, old: str, new: str
+    ) -> "SPJQuery":
+        """Rename a base relation; aliases (and thus attr refs) survive."""
+        relations = tuple(
+            replace(ref, relation=new)
+            if ref.source == source and ref.relation == old
+            else ref
+            for ref in self.relations
+        )
+        return replace(self, relations=relations)
+
+    def with_relation_replaced(
+        self, alias: str, replacement: RelationRef
+    ) -> "SPJQuery":
+        """Swap the relation behind ``alias`` for another (same alias)."""
+        if replacement.alias != alias:
+            raise QueryError(
+                "replacement must keep the alias so attribute references "
+                f"remain valid (got {replacement.alias!r} for {alias!r})"
+            )
+        relations = tuple(
+            replacement if ref.alias == alias else ref
+            for ref in self.relations
+        )
+        return replace(self, relations=relations)
+
+    def with_attribute_renamed(
+        self, alias: str, old: str, new: str
+    ) -> "SPJQuery":
+        """Rename every reference ``alias.old`` to ``alias.new``."""
+        target = AttrRef(alias, old)
+        substitution = {target: AttrRef(alias, new)}
+        return self.substituted(substitution)
+
+    def substituted(self, substitution: Substitution) -> "SPJQuery":
+        projection = tuple(
+            substitution.get(ref, ref) for ref in self.projection
+        )
+        joins = tuple(join.substituted(substitution) for join in self.joins)
+        selection = self.selection.substituted(substitution)
+        return replace(
+            self, projection=projection, joins=joins, selection=selection
+        )
+
+    def without_projection_attribute(self, target: AttrRef) -> "SPJQuery":
+        """Drop one attribute from the projection (view evolution)."""
+        projection = tuple(ref for ref in self.projection if ref != target)
+        if not projection:
+            raise QueryError("cannot drop the last projected attribute")
+        return replace(self, projection=projection)
+
+    def without_relation(self, alias: str) -> "SPJQuery":
+        """Remove a relation plus every join/projection/selection term
+        touching it.  This is the last-resort view evolution when a
+        dropped relation has no replacement."""
+        relations = tuple(ref for ref in self.relations if ref.alias != alias)
+        if not relations:
+            raise QueryError("cannot remove the only relation of a query")
+        joins = tuple(
+            join for join in self.joins if not join.touches(alias)
+        )
+        projection = tuple(
+            ref for ref in self.projection if ref.relation != alias
+        )
+        if not projection:
+            raise QueryError(
+                f"removing alias {alias!r} would empty the projection"
+            )
+        selection = _prune_selection(self.selection, alias)
+        return SPJQuery(relations, projection, joins, selection)
+
+    def with_extra_selection(self, predicate: Predicate) -> "SPJQuery":
+        return replace(
+            self, selection=conjunction([self.selection, predicate])
+        )
+
+    # ------------------------------------------------------------------
+    # validation against live schemas
+    # ------------------------------------------------------------------
+
+    def validate_against(self, schemas: dict[str, "object"]) -> None:
+        """Check all attribute refs resolve in ``schemas`` (alias→schema).
+
+        Raises :class:`UnknownAttributeError` on the first dangling
+        reference; used by tests and the consistency oracle.
+        """
+        for ref in self.all_attribute_refs():
+            if ref.relation is None:
+                continue
+            schema = schemas.get(ref.relation)
+            if schema is None:
+                raise QueryError(f"no schema bound for alias {ref.relation!r}")
+            if ref.name not in schema:  # type: ignore[operator]
+                raise UnknownAttributeError(ref.name, ref.relation)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+
+    def sql(self) -> str:
+        select = ", ".join(ref.qualified() for ref in self.projection)
+        from_clause = ", ".join(ref.sql() for ref in self.relations)
+        where_terms = [join.sql() for join in self.joins]
+        if self.selection is not TRUE:
+            where_terms.append(self.selection.sql())
+        sql = f"SELECT {select} FROM {from_clause}"
+        if where_terms:
+            sql += " WHERE " + " AND ".join(where_terms)
+        return sql
+
+
+def _prune_selection(predicate: Predicate, alias: str) -> Predicate:
+    """Drop conjuncts of ``predicate`` that mention ``alias``.
+
+    Only safe for conjunctive selections; anything non-conjunctive that
+    touches the alias is dropped wholesale (view evolution is allowed to
+    produce a non-equivalent view, see footnote 1 of the paper).
+    """
+    from .predicate import Conjunction
+
+    def touches(p: Predicate) -> bool:
+        return any(ref.relation == alias for ref in p.references())
+
+    if isinstance(predicate, Conjunction):
+        kept = [child for child in predicate.children if not touches(child)]
+        return conjunction(kept)
+    if touches(predicate):
+        return TRUE
+    return predicate

@@ -1,0 +1,226 @@
+"""Mutable bag-semantics tables.
+
+A :class:`Table` pairs a :class:`~repro.relational.schema.RelationSchema`
+with a counted multiset of rows.  Bag semantics (not set semantics) is the
+right substrate for incremental view maintenance: deltas carry
+multiplicities, and a join of deltas must multiply counts.
+
+Tables also implement the *physical* side of schema changes — when a
+source drops an attribute, every stored row is projected accordingly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+from .delta import Delta, Row
+from .errors import ArityError, DataError
+from .schema import Attribute, RelationSchema
+from .types import Value
+
+
+class Table:
+    """A named bag of typed rows.
+
+    Tables maintain lazy hash indexes per attribute: the first
+    :meth:`probe` on an attribute builds a value→rows index, kept up to
+    date incrementally by inserts/deletes and discarded by physical
+    schema changes.  The executor uses probes to answer IN-list
+    maintenance queries without scanning (the "indexed probe" the cost
+    model assumes).
+    """
+
+    __slots__ = ("schema", "_counts", "_indexes")
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        rows: Iterable[Row] = (),
+    ) -> None:
+        self.schema = schema
+        self._counts: Counter[Row] = Counter()
+        self._indexes: dict[str, dict] = {}
+        for row in rows:
+            self.insert(row)
+
+    # ------------------------------------------------------------------
+    # data manipulation
+    # ------------------------------------------------------------------
+
+    def _validated(self, row: Row) -> Row:
+        if len(row) != self.schema.arity:
+            raise ArityError(
+                f"row of width {len(row)} does not match relation "
+                f"{self.schema.name!r} of arity {self.schema.arity}"
+            )
+        return tuple(
+            attribute.type.validate(value)
+            for attribute, value in zip(self.schema.attributes, row)
+        )
+
+    def insert(self, row: Row, count: int = 1) -> None:
+        """Insert ``count`` copies of ``row`` after validation."""
+        if count <= 0:
+            raise DataError(f"insert count must be positive, got {count}")
+        row = self._validated(row)
+        self._counts[row] += count
+        for attribute_name, index in self._indexes.items():
+            position = self.schema.index_of(attribute_name)
+            index.setdefault(row[position], set()).add(row)
+
+    def delete(self, row: Row, count: int = 1) -> None:
+        """Delete ``count`` copies of ``row``; raise if not present."""
+        if count <= 0:
+            raise DataError(f"delete count must be positive, got {count}")
+        row = self._validated(row)
+        present = self._counts.get(row, 0)
+        if present < count:
+            raise DataError(
+                f"cannot delete {count} x {row!r} from "
+                f"{self.schema.name!r}: only {present} present"
+            )
+        if present == count:
+            del self._counts[row]
+            for attribute_name, index in self._indexes.items():
+                position = self.schema.index_of(attribute_name)
+                bucket = index.get(row[position])
+                if bucket is not None:
+                    bucket.discard(row)
+        else:
+            self._counts[row] = present - count
+
+    def update(self, old_row: Row, new_row: Row) -> None:
+        """Replace one occurrence of ``old_row`` with ``new_row``."""
+        self.delete(old_row)
+        self.insert(new_row)
+
+    def apply_delta(self, delta: Delta) -> None:
+        """Apply a signed delta: positive counts insert, negative delete."""
+        if delta.schema.arity != self.schema.arity:
+            raise ArityError(
+                f"delta arity {delta.schema.arity} does not match relation "
+                f"{self.schema.name!r} arity {self.schema.arity}"
+            )
+        for row, count in delta.items():
+            if count > 0:
+                self.insert(row, count)
+            else:
+                self.delete(row, -count)
+
+    def clear(self) -> None:
+        self._counts.clear()
+        self._indexes.clear()
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Total number of rows counting duplicates."""
+        return sum(self._counts.values())
+
+    def distinct_count(self) -> int:
+        return len(self._counts)
+
+    def count(self, row: Row) -> int:
+        return self._counts.get(tuple(row), 0)
+
+    def __contains__(self, row: Row) -> bool:
+        return self.count(row) > 0
+
+    def __iter__(self) -> Iterator[Row]:
+        for row, count in self._counts.items():
+            for _ in range(count):
+                yield row
+
+    def items(self) -> Iterator[tuple[Row, int]]:
+        return iter(self._counts.items())
+
+    def rows(self) -> list[Row]:
+        return list(self)
+
+    def as_delta(self) -> Delta:
+        """The whole extent as an insertion delta."""
+        delta = Delta(self.schema)
+        for row, count in self._counts.items():
+            delta.add(row, count)
+        return delta
+
+    def probe(self, attribute_name: str, values) -> Iterator[tuple[Row, int]]:
+        """Index lookup: rows whose ``attribute_name`` is in ``values``.
+
+        Builds (and thereafter incrementally maintains) a hash index on
+        the attribute.  Yields ``(row, count)`` pairs.
+        """
+        index = self._indexes.get(attribute_name)
+        if index is None:
+            position = self.schema.index_of(attribute_name)
+            index = {}
+            for row in self._counts:
+                index.setdefault(row[position], set()).add(row)
+            self._indexes[attribute_name] = index
+        for value in values:
+            for row in index.get(value, ()):
+                count = self._counts.get(row, 0)
+                if count:
+                    yield row, count
+
+    def has_index(self, attribute_name: str) -> bool:
+        return attribute_name in self._indexes
+
+    def copy(self, name: str | None = None) -> "Table":
+        schema = self.schema if name is None else self.schema.renamed(name)
+        duplicate = Table(schema)
+        duplicate._counts = Counter(self._counts)
+        return duplicate  # indexes are rebuilt lazily on the copy
+
+    def __eq__(self, other: object) -> bool:
+        """Extent equality: same bag of rows (schema names may differ)."""
+        if not isinstance(other, Table):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:  # pragma: no cover
+        raise TypeError("Table is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.schema.name!r}, arity={self.schema.arity}, "
+            f"rows={len(self)})"
+        )
+
+    # ------------------------------------------------------------------
+    # physical schema evolution
+    # ------------------------------------------------------------------
+
+    def renamed(self, new_name: str) -> "Table":
+        return self.copy(new_name)
+
+    def rename_attribute(self, old: str, new: str) -> None:
+        """In-place attribute rename; rows are untouched."""
+        self.schema = self.schema.rename_attribute(old, new)
+        if old in self._indexes:
+            self._indexes[new] = self._indexes.pop(old)
+
+    def drop_attribute(self, attribute_name: str) -> None:
+        """Drop the attribute and project every stored row."""
+        index = self.schema.index_of(attribute_name)
+        self.schema = self.schema.drop_attribute(attribute_name)
+        projected: Counter[Row] = Counter()
+        for row, count in self._counts.items():
+            projected[row[:index] + row[index + 1 :]] += count
+        self._counts = projected
+        self._indexes.clear()
+
+    def add_attribute(
+        self, attribute: Attribute, default: Value = None
+    ) -> None:
+        """Append the attribute, filling existing rows with ``default``."""
+        default = attribute.type.validate(default)
+        self.schema = self.schema.add_attribute(attribute)
+        extended: Counter[Row] = Counter()
+        for row, count in self._counts.items():
+            extended[row + (default,)] += count
+        self._counts = extended
+        self._indexes.clear()

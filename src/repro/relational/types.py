@@ -1,0 +1,87 @@
+"""Attribute types for the in-memory relational engine.
+
+The engine is deliberately small: four scalar types cover everything the
+paper's testbed needs (integer keys, floating-point prices, string titles,
+boolean flags).  Each type knows how to validate and coerce Python values,
+and how to produce a deterministic default used when a schema change adds
+an attribute to an existing relation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from .errors import TypeMismatchError
+
+#: Python value kinds the engine stores.  ``None`` is allowed for every type
+#: and represents SQL NULL (used e.g. as the default for added attributes).
+Value = int | float | str | bool | None
+
+
+class AttributeType(enum.Enum):
+    """Scalar type of a relation attribute."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    BOOL = "bool"
+
+    def validate(self, value: Value) -> Value:
+        """Return ``value`` if it conforms to this type, else raise.
+
+        Integers are accepted for FLOAT attributes (and widened), matching
+        the usual numeric promotion of SQL engines.  ``bool`` is *not*
+        accepted for INT despite being an ``int`` subclass in Python —
+        silently storing ``True`` in an integer column is a classic bug.
+        """
+        if value is None:
+            return None
+        if self is AttributeType.INT:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise TypeMismatchError(f"expected INT, got {value!r}")
+            return value
+        if self is AttributeType.FLOAT:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TypeMismatchError(f"expected FLOAT, got {value!r}")
+            return float(value)
+        if self is AttributeType.STRING:
+            if not isinstance(value, str):
+                raise TypeMismatchError(f"expected STRING, got {value!r}")
+            return value
+        if self is AttributeType.BOOL:
+            if not isinstance(value, bool):
+                raise TypeMismatchError(f"expected BOOL, got {value!r}")
+            return value
+        raise AssertionError(f"unhandled type {self}")  # pragma: no cover
+
+    def default(self) -> Value:
+        """Deterministic default used when an attribute is added."""
+        return None
+
+    @classmethod
+    def infer(cls, value: Any) -> "AttributeType":
+        """Infer the attribute type of a Python value.
+
+        Used by convenience constructors that build schemas from sample
+        rows (tests and examples); production schemas are declared
+        explicitly.
+        """
+        if isinstance(value, bool):
+            return cls.BOOL
+        if isinstance(value, int):
+            return cls.INT
+        if isinstance(value, float):
+            return cls.FLOAT
+        if isinstance(value, str):
+            return cls.STRING
+        raise TypeMismatchError(f"cannot infer attribute type for {value!r}")
+
+    def sql_name(self) -> str:
+        """Render the type as it would appear in a DDL statement."""
+        return {
+            AttributeType.INT: "INTEGER",
+            AttributeType.FLOAT: "REAL",
+            AttributeType.STRING: "VARCHAR",
+            AttributeType.BOOL: "BOOLEAN",
+        }[self]

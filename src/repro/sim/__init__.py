@@ -1,0 +1,24 @@
+"""Discrete-event simulation substrate: clock, effects, costs, engine."""
+
+from .clock import ClockError, SimClock
+from .costs import CostModel
+from .effects import Checkpoint, Delay, Effect, SourceQuery
+from .engine import MaintenanceProcess, QueryAnswer, SimEngine
+from .metrics import Metrics
+from .trace import TraceEvent, Tracer
+
+__all__ = [
+    "Checkpoint",
+    "ClockError",
+    "CostModel",
+    "Delay",
+    "Effect",
+    "MaintenanceProcess",
+    "Metrics",
+    "QueryAnswer",
+    "SimClock",
+    "TraceEvent",
+    "Tracer",
+    "SimEngine",
+    "SourceQuery",
+]

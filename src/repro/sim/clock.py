@@ -1,0 +1,46 @@
+"""Virtual time.
+
+All durations in the reproduction are *virtual seconds* produced by the
+cost model; the clock only ever moves forward.  Using virtual time makes
+every experiment deterministic and lets us reproduce the paper's timing
+figures (which were wall-clock seconds on 2003 hardware) as shapes rather
+than chasing absolute numbers.
+"""
+
+from __future__ import annotations
+
+from ..relational.errors import ReproError
+
+
+class ClockError(ReproError):
+    """Attempted to move the simulation clock backwards."""
+
+
+class SimClock:
+    """A monotonically advancing virtual clock."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, instant: float) -> None:
+        if instant < self._now - 1e-12:
+            raise ClockError(
+                f"cannot move clock backwards from {self._now} to {instant}"
+            )
+        if instant > self._now:
+            self._now = instant
+
+    def advance_by(self, duration: float) -> float:
+        if duration < 0:
+            raise ClockError(f"negative duration {duration}")
+        self._now += duration
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"

@@ -1,0 +1,64 @@
+"""Effects: what a maintenance process asks the simulation to do.
+
+Maintenance algorithms (VM/VS/VA) are written as plain Python generators
+that *yield* effect objects and receive results back via ``send``.  The
+engine interprets each effect: it advances the virtual clock by the
+effect's cost and interleaves any autonomous source commits that fall
+inside the window — which is exactly how concurrent updates sneak into
+query answers (duplication anomaly) or break queries (broken-query
+anomaly).
+
+Writing algorithms in effect style keeps them testable in isolation
+(drive the generator by hand) and keeps all timing policy in one place
+(the cost model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..relational.query import SPJQuery
+
+
+class Effect:
+    """Base class of all yieldable effects."""
+
+
+@dataclass(frozen=True)
+class Delay(Effect):
+    """Consume ``duration`` seconds of view-manager time.
+
+    ``kind`` labels the work for metrics breakdown (e.g. ``"vs_rewrite"``,
+    ``"va_install"``, ``"detection"``).
+    """
+
+    duration: float
+    kind: str = "compute"
+
+
+@dataclass(frozen=True)
+class SourceQuery(Effect):
+    """Send an SPJ query to one source and await the answer.
+
+    The engine charges the cost model's estimate for the round trip,
+    advances the clock across the window (processing autonomous commits
+    that land inside it), then evaluates the query against the source's
+    *current* state.  A concurrent schema change inside the window makes
+    the evaluation raise
+    :class:`~repro.sources.errors.BrokenQueryError`, which the engine
+    throws *into* the maintenance generator — in-exec detection.
+    """
+
+    source_name: str
+    query: SPJQuery
+    kind: str = "maintenance_query"
+
+
+@dataclass(frozen=True)
+class Checkpoint(Effect):
+    """Zero-cost marker; returns the current virtual time.
+
+    Maintenance processes use checkpoints to timestamp the states they
+    observed (needed by compensation to decide which logged updates were
+    concurrent with a query answer).
+    """

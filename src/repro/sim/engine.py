@@ -1,0 +1,267 @@
+"""The discrete-event simulation engine.
+
+The engine owns the virtual clock, a heap of scheduled autonomous source
+commits, the registry of sources, and the cost model.  The view manager
+runs *synchronously on top of* the engine: maintenance generators yield
+:mod:`~repro.sim.effects` and the engine interprets them, advancing the
+clock and firing any source commits that fall inside each time window.
+
+This produces the paper's environment faithfully:
+
+* while a maintenance query is "travelling", other sources keep
+  committing — a data update that lands in the window silently leaks into
+  the answer (duplication anomaly, fixed by compensation);
+* a schema change that lands in the window invalidates the metadata the
+  query was built from, and the evaluation raises
+  :class:`~repro.sources.errors.BrokenQueryError`, which the engine
+  throws into the maintenance generator (in-exec detection).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Generator, Iterable
+
+from ..relational.predicate import InPredicate
+from ..relational.query import SPJQuery
+from ..relational.table import Table
+from ..sources.source import DataSource
+from ..sources.workload import Workload, WorkloadItem
+from .clock import SimClock
+from .costs import CostModel
+from .effects import Checkpoint, Delay, Effect, SourceQuery
+from .metrics import Metrics
+from . import trace as trace_kinds
+from .trace import Tracer
+
+#: a maintenance process: yields effects, receives results
+MaintenanceProcess = Generator[Effect, object, object]
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """A query result plus the virtual time it was evaluated at.
+
+    ``answered_at`` is the instant the source computed the result; it is
+    what compensation compares against commit timestamps to decide which
+    concurrent updates leaked into the answer.  (Transfer time back to
+    the view manager is charged *after* evaluation, so updates committing
+    during the transfer are correctly NOT compensated.)
+    """
+
+    table: Table
+    answered_at: float
+
+
+class SimEngine:
+    """Interprets effects against virtual time and autonomous commits."""
+
+    def __init__(
+        self,
+        cost_model: CostModel | None = None,
+        trace: bool = False,
+    ) -> None:
+        self.clock = SimClock()
+        self.cost_model = cost_model or CostModel.paper_default()
+        self.metrics = Metrics()
+        self.sources: dict[str, DataSource] = {}
+        self._events: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self.tracer = Tracer(enabled=trace)
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+
+    def add_source(self, source: DataSource) -> DataSource:
+        self.sources[source.name] = source
+        return source
+
+    def source(self, name: str) -> DataSource:
+        return self.sources[name]
+
+    def schedule(self, at: float, action: Callable[[], None]) -> None:
+        heapq.heappush(self._events, (at, next(self._sequence), action))
+
+    def schedule_commit(self, item: WorkloadItem) -> None:
+        """Schedule one autonomous commit for its workload time.
+
+        A commit the source itself rejects (e.g. a stale intent racing a
+        schema change at its own source) is the *source's* local failure
+        — autonomous sources do not consult anyone — so it is counted
+        and traced but never propagates into the view manager.
+        """
+        from ..sources.errors import UpdateApplicationError
+
+        def fire() -> None:
+            source = self.sources[item.source_name]
+            update = item.intent.materialize(source)
+            if update is None:
+                return
+            try:
+                message = source.commit(update, at=self.clock.now)
+            except UpdateApplicationError as exc:
+                self.metrics.failed_commits += 1
+                self.tracer.record(
+                    self.clock.now, trace_kinds.COMMIT, f"FAILED: {exc}"
+                )
+                return
+            self.tracer.record(
+                self.clock.now, trace_kinds.COMMIT, message.describe()
+            )
+
+        self.schedule(item.at, fire)
+
+    def schedule_workload(self, workload: Workload | Iterable[WorkloadItem]) -> None:
+        for item in workload:
+            self.schedule_commit(item)
+
+    # ------------------------------------------------------------------
+    # time control
+    # ------------------------------------------------------------------
+
+    def has_pending_events(self) -> bool:
+        return bool(self._events)
+
+    def next_event_time(self) -> float | None:
+        return self._events[0][0] if self._events else None
+
+    def advance_to(self, instant: float) -> None:
+        """Move the clock to ``instant``, firing due events in order."""
+        while self._events and self._events[0][0] <= instant:
+            at, _seq, action = heapq.heappop(self._events)
+            self.clock.advance_to(max(at, self.clock.now))
+            action()
+        self.clock.advance_to(instant)
+
+    def advance_by(self, duration: float) -> None:
+        self.advance_to(self.clock.now + duration)
+
+    def advance_to_next_event(self) -> bool:
+        """Fire the earliest pending event batch; False if none pending."""
+        if not self._events:
+            return False
+        self.advance_to(self._events[0][0])
+        return True
+
+    def drain_events(self) -> None:
+        while self.advance_to_next_event():
+            pass
+
+    # ------------------------------------------------------------------
+    # effect interpretation
+    # ------------------------------------------------------------------
+
+    def perform(self, effect: Effect) -> object:
+        """Execute one effect, charging metrics and advancing time.
+
+        :class:`~repro.sources.errors.BrokenQueryError` raised by a query
+        propagates to the caller (who typically throws it into the
+        maintenance generator).
+        """
+        if isinstance(effect, Delay):
+            self.metrics.charge(effect.kind, effect.duration)
+            self.advance_by(effect.duration)
+            return None
+        if isinstance(effect, Checkpoint):
+            return self.clock.now
+        if isinstance(effect, SourceQuery):
+            return self._perform_query(effect)
+        raise TypeError(f"unknown effect {effect!r}")
+
+    def _perform_query(self, effect: SourceQuery) -> QueryAnswer:
+        query = effect.query
+        source = self.sources[effect.source_name]
+        probe_values = _probe_value_count(query)
+        if probe_values is not None:
+            request_cost = self.cost_model.query_base + (
+                probe_values * self.cost_model.query_per_probe_value
+            )
+        else:
+            scanned = _scanned_tuples(source, query)
+            request_cost = self.cost_model.query_base + (
+                scanned * self.cost_model.query_per_scanned_tuple
+            )
+        # The request/execution window: autonomous commits inside it are
+        # visible to (or break) the query.
+        self.metrics.charge(effect.kind, request_cost)
+        self.advance_by(request_cost)
+        answered_at = self.clock.now
+        result = source.execute(query)  # may raise BrokenQueryError
+        transfer_cost = (
+            len(result) * self.cost_model.query_per_result_tuple
+        )
+        self.metrics.charge(effect.kind, transfer_cost)
+        self.advance_by(transfer_cost)
+        self.tracer.record(
+            answered_at,
+            trace_kinds.QUERY,
+            f"{effect.source_name} -> {len(result)} tuples",
+        )
+        return QueryAnswer(result, answered_at)
+
+    # ------------------------------------------------------------------
+    # driving maintenance generators
+    # ------------------------------------------------------------------
+
+    def run_process(self, process: MaintenanceProcess) -> object:
+        """Drive a maintenance generator to completion.
+
+        Broken queries are thrown *into* the generator so the algorithm
+        can handle them (abort, flag, compensate); an unhandled
+        BrokenQueryError propagates to the caller.
+        """
+        from ..sources.errors import BrokenQueryError
+
+        try:
+            effect = next(process)
+        except StopIteration as stop:
+            return stop.value
+        while True:
+            try:
+                result = self.perform(effect)
+            except BrokenQueryError as exc:
+                self.metrics.broken_queries += 1
+                self.tracer.record(
+                    self.clock.now, trace_kinds.BROKEN, str(exc)
+                )
+                try:
+                    effect = process.throw(exc)
+                except StopIteration as stop:
+                    return stop.value
+                continue
+            try:
+                effect = process.send(result)
+            except StopIteration as stop:
+                return stop.value
+
+
+def _probe_value_count(query: SPJQuery) -> int | None:
+    """Total IN-list size if the query is probe-style, else ``None``."""
+    from ..relational.predicate import Conjunction
+
+    predicates = []
+    selection = query.selection
+    if isinstance(selection, Conjunction):
+        predicates = list(selection.children)
+    else:
+        predicates = [selection]
+    sizes = [
+        len(predicate.values)
+        for predicate in predicates
+        if isinstance(predicate, InPredicate)
+    ]
+    if not sizes:
+        return None
+    return sum(sizes)
+
+
+def _scanned_tuples(source: DataSource, query: SPJQuery) -> int:
+    """Rows the source must scan for a non-probe query (current state)."""
+    scanned = 0
+    for ref in query.relations:
+        if ref.source == source.name and source.has_relation(ref.relation):
+            scanned += len(source.catalog.table(ref.relation))
+    return scanned

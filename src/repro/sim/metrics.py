@@ -1,0 +1,81 @@
+"""Metrics collected during a simulated run.
+
+The paper reports two headline quantities per experiment: the total
+maintenance cost (y-axes of Figures 8-12, "the maintenance cost includes
+the abort cost") and the *abort cost* — view-manager time spent on
+maintenance attempts that a broken query later forced to be discarded.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Metrics:
+    """Accumulators for one simulated run."""
+
+    #: view-manager busy time, by work kind (query, vs_rewrite, ...)
+    busy_time: Counter = field(default_factory=Counter)
+    #: total time of maintenance attempts that were aborted
+    abort_cost: float = 0.0
+    #: number of maintenance attempts aborted by broken queries
+    aborts: int = 0
+    #: number of broken queries observed (>= aborts is possible if a
+    #: single attempt breaks multiple queries before aborting)
+    broken_queries: int = 0
+    #: number of updates whose maintenance committed to the view
+    maintained_updates: int = 0
+    #: number of view refresh transactions
+    view_refreshes: int = 0
+    #: number of pre-exec detection/correction rounds executed
+    detection_rounds: int = 0
+    #: number of dependency-graph builds
+    graph_builds: int = 0
+    #: number of cycle merges performed during correction
+    cycle_merges: int = 0
+    #: tuples written into the view (net traffic)
+    view_delta_tuples: int = 0
+    #: autonomous commits rejected by their own source (stale intents)
+    failed_commits: int = 0
+    #: broken-query anomalies by Section 3.1 type (3 = SC vs M(DU),
+    #: 4 = SC vs M(SC)); types 1-2 never abort — they are absorbed by
+    #: compensation and visible in the manager's CompensationLog
+    anomalies: Counter = field(default_factory=Counter)
+
+    def charge(self, kind: str, duration: float) -> None:
+        self.busy_time[kind] += duration
+
+    @property
+    def total_busy_time(self) -> float:
+        return sum(self.busy_time.values())
+
+    @property
+    def maintenance_cost(self) -> float:
+        """Total cost as the paper charts it (work including aborts)."""
+        return self.total_busy_time
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "maintenance_cost": round(self.maintenance_cost, 6),
+            "abort_cost": round(self.abort_cost, 6),
+            "aborts": self.aborts,
+            "broken_queries": self.broken_queries,
+            "maintained_updates": self.maintained_updates,
+            "view_refreshes": self.view_refreshes,
+            "detection_rounds": self.detection_rounds,
+            "graph_builds": self.graph_builds,
+            "cycle_merges": self.cycle_merges,
+            "anomalies": {
+                kind.name: count for kind, count in self.anomalies.items()
+            },
+            "busy_breakdown": self.busy_breakdown(),
+        }
+
+    def busy_breakdown(self) -> dict[str, float]:
+        """Busy time per work kind, rounded (query/vs/va/refresh/...)."""
+        return {
+            kind: round(duration, 3)
+            for kind, duration in sorted(self.busy_time.items())
+        }

@@ -1,0 +1,74 @@
+"""Autonomous data sources, wrappers, update messages and workloads."""
+
+from .errors import BrokenQueryError, SourceError, UpdateApplicationError
+from .messages import (
+    AddAttribute,
+    CreateRelation,
+    DataUpdate,
+    DropAttribute,
+    DropRelation,
+    RenameAttribute,
+    RenameRelation,
+    RestructureRelations,
+    SchemaChange,
+    SourceUpdate,
+    UpdateMessage,
+)
+from .mkb import (
+    AttributeReplacement,
+    MetaKnowledgeBase,
+    RelationReplacement,
+)
+from .source import DataSource
+from .sqlite_source import SqliteCatalog, SqliteDataSource
+from .workload import (
+    DeleteRandomRow,
+    DropRandomAttribute,
+    FixedUpdate,
+    InsertRandomRow,
+    RenameRandomAttribute,
+    RenameRandomRelation,
+    UpdateIntent,
+    Workload,
+    WorkloadItem,
+    poisson_arrival_times,
+    random_row,
+    random_value,
+)
+from .wrapper import Wrapper
+
+__all__ = [
+    "AddAttribute",
+    "AttributeReplacement",
+    "BrokenQueryError",
+    "CreateRelation",
+    "DataSource",
+    "DataUpdate",
+    "DeleteRandomRow",
+    "DropAttribute",
+    "DropRandomAttribute",
+    "DropRelation",
+    "FixedUpdate",
+    "InsertRandomRow",
+    "MetaKnowledgeBase",
+    "RelationReplacement",
+    "RenameAttribute",
+    "RenameRandomAttribute",
+    "RenameRandomRelation",
+    "RenameRelation",
+    "RestructureRelations",
+    "SchemaChange",
+    "SourceError",
+    "SourceUpdate",
+    "SqliteCatalog",
+    "SqliteDataSource",
+    "UpdateApplicationError",
+    "UpdateIntent",
+    "UpdateMessage",
+    "Workload",
+    "WorkloadItem",
+    "Wrapper",
+    "poisson_arrival_times",
+    "random_row",
+    "random_value",
+]

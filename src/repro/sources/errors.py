@@ -1,0 +1,33 @@
+"""Errors raised by the source layer."""
+
+from __future__ import annotations
+
+from ..relational.errors import ReproError
+
+
+class SourceError(ReproError):
+    """Base class for data-source failures."""
+
+
+class BrokenQueryError(SourceError):
+    """A maintenance query referenced metadata the source no longer has.
+
+    This is the *broken query anomaly* of Definition 2: the query was
+    constructed from outdated schema knowledge and a concurrent schema
+    change committed before the query was answered.  The query engine's
+    in-exec detection mechanism (Figure 7) catches this exception and
+    raises the ``BrokenQueryFlag``.
+    """
+
+    def __init__(self, source: str, query_sql: str, reason: str) -> None:
+        self.source = source
+        self.query_sql = query_sql
+        self.reason = reason
+        super().__init__(
+            f"broken query at source {source!r}: {reason} "
+            f"(query: {query_sql})"
+        )
+
+
+class UpdateApplicationError(SourceError):
+    """A source update could not be applied to the local catalog."""

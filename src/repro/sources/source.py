@@ -1,0 +1,202 @@
+"""Autonomous data source servers.
+
+A :class:`DataSource` owns a catalog of relations and commits updates
+*autonomously* — there is no coordination or locking with the view
+manager, which is precisely what creates the paper's anomalies.  Each
+commit is applied locally, sequenced, logged and pushed to subscribed
+wrappers.
+
+Queries against a source are answered from the *current* state.  If the
+query references metadata that a concurrent schema change removed or
+renamed, the source raises :class:`BrokenQueryError` (the broken-query
+anomaly); if concurrent data updates committed before the query arrived,
+their effect silently leaks into the answer (the duplication anomaly that
+compensation must undo).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..relational.catalog import Catalog
+from ..relational.errors import SchemaError, UnknownRelationError
+from ..relational.executor import execute
+from ..relational.query import SPJQuery
+from ..relational.schema import RelationSchema
+from ..relational.table import Table
+from .errors import BrokenQueryError, UpdateApplicationError
+from .messages import (
+    AddAttribute,
+    CreateRelation,
+    DataUpdate,
+    DropAttribute,
+    DropRelation,
+    RenameAttribute,
+    RenameRelation,
+    RestructureRelations,
+    SourceUpdate,
+    UpdateMessage,
+)
+
+Subscriber = Callable[[UpdateMessage], None]
+
+
+class DataSource:
+    """One autonomous source server."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.catalog = Catalog(name)
+        self.log: list[UpdateMessage] = []
+        self._subscribers: list[Subscriber] = []
+        self._next_seqno = 1
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+
+    def create_relation(
+        self, schema: RelationSchema, rows: Iterable = ()
+    ) -> Table:
+        """Initial (pre-integration) table creation; not logged."""
+        table = self.catalog.create(schema)
+        for row in rows:
+            table.insert(row)
+        return table
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        """Register a wrapper callback invoked after every commit."""
+        self._subscribers.append(subscriber)
+
+    # ------------------------------------------------------------------
+    # autonomous commits
+    # ------------------------------------------------------------------
+
+    def commit(self, update: SourceUpdate, at: float = 0.0) -> UpdateMessage:
+        """Apply ``update`` locally and broadcast the committed message.
+
+        The update is applied *before* notification, so by the time the
+        view manager learns of it the source state has already moved on —
+        source updates cannot be aborted (Section 3.5).
+        """
+        self._apply(update)
+        message = UpdateMessage(
+            source=self.name,
+            seqno=self._next_seqno,
+            committed_at=at,
+            payload=update,
+        )
+        self._next_seqno += 1
+        self.log.append(message)
+        for subscriber in self._subscribers:
+            subscriber(message)
+        return message
+
+    def _apply(self, update: SourceUpdate) -> None:
+        try:
+            self._dispatch(update)
+        except SchemaError as exc:
+            raise UpdateApplicationError(
+                f"source {self.name!r} failed to apply "
+                f"{update.describe()}: {exc}"
+            ) from exc
+
+    def _dispatch(self, update: SourceUpdate) -> None:
+        if isinstance(update, DataUpdate):
+            table = self.catalog.table(update.relation)
+            table.apply_delta(update.delta)
+        elif isinstance(update, RenameRelation):
+            self.catalog.rename(update.old, update.new)
+        elif isinstance(update, RenameAttribute):
+            self.catalog.table(update.relation).rename_attribute(
+                update.old, update.new
+            )
+        elif isinstance(update, DropAttribute):
+            self.catalog.table(update.relation).drop_attribute(
+                update.attribute
+            )
+        elif isinstance(update, AddAttribute):
+            self.catalog.table(update.relation).add_attribute(
+                update.attribute, update.default
+            )
+        elif isinstance(update, DropRelation):
+            dropped = self.catalog.drop(update.relation)
+            update.dropped_extent = dropped.copy()
+        elif isinstance(update, CreateRelation):
+            table = self.catalog.create(update.schema)
+            for row in update.rows:
+                table.insert(row)
+        elif isinstance(update, RestructureRelations):
+            for relation in update.dropped:
+                dropped = self.catalog.drop(relation)
+                update.dropped_extents[relation] = dropped.copy()
+            table = self.catalog.create(update.new_schema)
+            for row in update.new_rows:
+                table.insert(row)
+        else:
+            raise UpdateApplicationError(
+                f"unknown update type {type(update).__name__}"
+            )
+
+    # ------------------------------------------------------------------
+    # query interface
+    # ------------------------------------------------------------------
+
+    def execute(self, query: SPJQuery) -> Table:
+        """Answer an SPJ query over this source's current state.
+
+        All relations in the query must belong to this source.  Missing
+        relations or attributes raise :class:`BrokenQueryError` — the
+        query was built from outdated schema knowledge.
+        """
+        tables: dict[str, Table] = {}
+        for ref in query.relations:
+            if ref.source != self.name:
+                raise BrokenQueryError(
+                    self.name,
+                    query.sql(),
+                    f"relation {ref.relation!r} belongs to source "
+                    f"{ref.source!r}, not {self.name!r}",
+                )
+            try:
+                tables[ref.alias] = self.catalog.table(ref.relation)
+            except UnknownRelationError as exc:
+                raise BrokenQueryError(
+                    self.name, query.sql(), str(exc)
+                ) from exc
+
+        # Attribute-level validation: a schema change that only touched
+        # attributes the query does not mention must NOT break it
+        # (Section 3.1).
+        for ref in query.all_attribute_refs():
+            if ref.relation is None:
+                continue
+            table = tables.get(ref.relation)
+            if table is not None and ref.name not in table.schema:
+                raise BrokenQueryError(
+                    self.name,
+                    query.sql(),
+                    f"attribute {ref.name!r} missing from relation "
+                    f"{table.schema.name!r}",
+                )
+
+        return execute(query, tables)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def schema_of(self, relation: str) -> RelationSchema:
+        return self.catalog.schema(relation)
+
+    def has_relation(self, relation: str) -> bool:
+        return relation in self.catalog
+
+    def total_rows(self) -> int:
+        return sum(len(table) for table in self.catalog)
+
+    def __repr__(self) -> str:
+        return (
+            f"DataSource({self.name!r}, relations="
+            f"{list(self.catalog.relation_names)})"
+        )

@@ -1,0 +1,45 @@
+"""Wrappers: the bridge between autonomous sources and the view manager.
+
+The paper assumes "intelligent" wrappers that extract raw data changes
+*and* metadata (schema-level changes, relationships with other sources).
+Here a :class:`Wrapper` subscribes to a :class:`~repro.sources.source
+.DataSource`, stamps each committed update with wrapper-side metadata and
+forwards it to a sink — in the full system, the view manager's Update
+Message Queue.
+
+A wrapper can also impose a fixed transmission latency; in the simulated
+deployment the latency is realized by the event engine, the wrapper only
+records the value.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .messages import UpdateMessage
+from .source import DataSource
+
+Sink = Callable[[UpdateMessage], None]
+
+
+class Wrapper:
+    """Forwards committed updates from one source to one sink."""
+
+    def __init__(
+        self,
+        source: DataSource,
+        sink: Sink,
+        latency: float = 0.0,
+    ) -> None:
+        self.source = source
+        self.sink = sink
+        self.latency = latency
+        self.forwarded: int = 0
+        source.subscribe(self._on_commit)
+
+    def _on_commit(self, message: UpdateMessage) -> None:
+        self.forwarded += 1
+        self.sink(message)
+
+    def __repr__(self) -> str:
+        return f"Wrapper({self.source.name!r}, forwarded={self.forwarded})"

@@ -1,0 +1,21 @@
+"""View layer: definitions, materialized extents, UMQ, manager, oracle."""
+
+from .consistency import ConsistencyReport, check_convergence
+from .definition import ViewDefinition
+from .manager import MaintenanceOutcome, ViewManager
+from .multi import MultiViewManager
+from .materialized import MaterializedView
+from .umq import MaintenanceUnit, UMQError, UpdateMessageQueue
+
+__all__ = [
+    "ConsistencyReport",
+    "MaintenanceUnit",
+    "MaintenanceOutcome",
+    "MaterializedView",
+    "MultiViewManager",
+    "UMQError",
+    "UpdateMessageQueue",
+    "ViewDefinition",
+    "ViewManager",
+    "check_convergence",
+]

@@ -1,0 +1,82 @@
+"""Consistency oracle.
+
+The correctness criterion we test throughout (and the paper proves for
+Dyno): after the system quiesces, the materialized view extent equals
+the current view definition evaluated over the current source states —
+convergence — and every dependency was honoured along the way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..relational.table import Table
+from .manager import ViewManager
+
+
+@dataclass
+class ConsistencyReport:
+    """Outcome of one convergence check."""
+
+    consistent: bool
+    expected_rows: int
+    actual_rows: int
+    missing: list = field(default_factory=list)
+    unexpected: list = field(default_factory=list)
+    #: set when the view definition itself no longer evaluates over the
+    #: live sources — the terminal failure mode of the naive baseline
+    stale_definition: str | None = None
+
+    def summary(self) -> str:
+        if self.stale_definition is not None:
+            return (
+                "INCONSISTENT: the view definition is stale and cannot "
+                f"be evaluated over the sources ({self.stale_definition})"
+            )
+        if self.consistent:
+            return (
+                f"consistent: view matches recompute "
+                f"({self.actual_rows} rows)"
+            )
+        return (
+            f"INCONSISTENT: expected {self.expected_rows} rows, "
+            f"materialized {self.actual_rows}; "
+            f"{len(self.missing)} missing, {len(self.unexpected)} unexpected"
+        )
+
+
+def check_convergence(manager: ViewManager, sample: int = 10) -> ConsistencyReport:
+    """Compare the materialized extent against a fresh recompute.
+
+    ``sample`` bounds how many differing rows are listed in the report.
+    """
+    from ..relational.errors import SchemaError
+
+    try:
+        expected: Table = manager.recompute_reference()
+    except SchemaError as exc:
+        return ConsistencyReport(
+            consistent=False,
+            expected_rows=0,
+            actual_rows=len(manager.mv.extent),
+            stale_definition=str(exc),
+        )
+    actual = manager.mv.extent
+
+    missing = []
+    unexpected = []
+    if expected != actual:
+        expected_delta = expected.as_delta()
+        expected_delta.merge(actual.as_delta().negated())
+        for row, count in expected_delta.items():
+            if count > 0 and len(missing) < sample:
+                missing.append((row, count))
+            elif count < 0 and len(unexpected) < sample:
+                unexpected.append((row, -count))
+    return ConsistencyReport(
+        consistent=expected == actual,
+        expected_rows=len(expected),
+        actual_rows=len(actual),
+        missing=missing,
+        unexpected=unexpected,
+    )

@@ -1,0 +1,62 @@
+"""View definitions.
+
+A :class:`ViewDefinition` wraps the SPJ view query with a name and a
+version counter.  View synchronization produces *new versions* (the
+in-memory ``w(VD)`` of Definition 1); the version number lets tests and
+traces observe rewrites, and footnote 1 of the paper is honoured: the
+rewritten view need not be equivalent to the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..relational.predicate import AttrRef
+from ..relational.query import SPJQuery
+from ..relational.schema import Attribute, RelationSchema
+from ..sources.source import DataSource
+
+
+@dataclass(frozen=True)
+class ViewDefinition:
+    """An immutable, versioned view definition."""
+
+    name: str
+    query: SPJQuery
+    version: int = 1
+
+    def rewritten(self, query: SPJQuery) -> "ViewDefinition":
+        """A new version with a rewritten query."""
+        return replace(self, query=query, version=self.version + 1)
+
+    def sql(self) -> str:
+        return f"CREATE VIEW {self.name} AS {self.query.sql()}"
+
+    # ------------------------------------------------------------------
+    # schema derivation
+    # ------------------------------------------------------------------
+
+    def result_schema(self, sources: dict[str, DataSource]) -> RelationSchema:
+        """The schema of the view extent, resolved against live sources.
+
+        Output attribute names follow the executor's convention: the bare
+        attribute name, qualified with the alias on collision.
+        """
+        names = [ref.name for ref in self.query.projection]
+        attributes: list[Attribute] = []
+        for ref in self.query.projection:
+            attribute = self._resolve(ref, sources)
+            if names.count(ref.name) > 1:
+                attribute = attribute.renamed(f"{ref.relation}_{ref.name}")
+            attributes.append(attribute)
+        return RelationSchema(self.name, tuple(attributes))
+
+    def _resolve(
+        self, ref: AttrRef, sources: dict[str, DataSource]
+    ) -> Attribute:
+        relation_ref = self.query.relation_ref(ref.relation)  # type: ignore[arg-type]
+        source = sources[relation_ref.source]
+        return source.schema_of(relation_ref.relation).attribute(ref.name)
+
+    def __repr__(self) -> str:
+        return f"ViewDefinition({self.name!r}, v{self.version})"

@@ -1,0 +1,370 @@
+"""The view manager (Figure 3).
+
+Owns the materialized view, the UMQ, the synchronizer and the
+connections to the sources, and builds one *maintenance process*
+(a generator of effects) per maintenance unit:
+
+* a data-update unit runs the probe sweep of
+  :mod:`repro.maintenance.vm` and refreshes the view with the resulting
+  delta;
+* a unit containing schema changes runs VS per combined change and then
+  view adaptation, installing the rewritten definition and rebuilt
+  extent atomically at the end (so an abort mid-way leaves both the
+  definition and the extent untouched — "this abort is just to discard
+  any temporary query results");
+* a batch unit's data updates are folded into the adaptation scans
+  automatically (they are already committed at the sources and are not
+  compensated away, because they are not *behind* the unit).
+
+The Dyno scheduler (:mod:`repro.core.scheduler`) drives these processes
+and decides their order.
+"""
+
+from __future__ import annotations
+
+from ..relational.delta import Delta
+from ..relational.executor import execute
+from ..relational.schema import RelationSchema
+from ..relational.table import Table
+from ..sim.costs import CostModel
+from ..sim.effects import Delay
+from ..sim.engine import MaintenanceProcess, SimEngine
+from ..sim.metrics import Metrics
+from ..sources.messages import SchemaChange
+from ..sources.mkb import MetaKnowledgeBase
+from ..sources.source import DataSource
+from ..sources.wrapper import Wrapper
+from ..maintenance.batch import (
+    combine_schema_changes,
+    data_updates_of,
+    schema_changes_of,
+)
+from ..maintenance.compensation import CompensationLog
+from ..maintenance.history import SchemaHistory
+from ..maintenance.va import adapt_view
+from ..maintenance.vm import maintain_data_update
+from ..maintenance.vs import ViewSynchronizer
+from .definition import ViewDefinition
+from .materialized import MaterializedView
+from .umq import MaintenanceUnit, UpdateMessageQueue
+
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MaintenanceOutcome:
+    """The computed-but-uninstalled effect of one maintenance unit.
+
+    Exactly one of these shapes applies:
+
+    * ``delta`` set — a data-update refresh (apply to the extent);
+    * ``definition`` + ``extent`` set — a schema-change adaptation
+      (install the rewritten definition and the rebuilt extent);
+    * all ``None`` — the unit did not affect this view.
+
+    ``applied_changes`` carries the unit's (combined) schema changes so
+    installation can record them in the manager's
+    :class:`~repro.maintenance.history.SchemaHistory`.
+    """
+
+    delta: Delta | None = None
+    definition: ViewDefinition | None = None
+    extent: Table | None = None
+    applied_changes: list = None  # list[(source, SchemaChange)] | None
+
+
+class ViewManager:
+    """Maintains one materialized view over autonomous sources."""
+
+    def __init__(
+        self,
+        engine: SimEngine,
+        view: ViewDefinition,
+        mkb: MetaKnowledgeBase | None = None,
+        umq: UpdateMessageQueue | None = None,
+        attach_wrappers: bool = True,
+    ) -> None:
+        """``umq``/``attach_wrappers`` let several managers share one
+        queue (see :class:`~repro.views.multi.MultiViewManager`)."""
+        self.engine = engine
+        self.view = view
+        # NOTE: ``umq or ...`` would discard a shared-but-empty queue
+        # (UpdateMessageQueue defines __len__), hence the identity test.
+        self.umq = umq if umq is not None else UpdateMessageQueue()
+        self.mkb = mkb or MetaKnowledgeBase()
+        self.synchronizer = ViewSynchronizer(
+            self.mkb, schema_lookup=self._schema_lookup
+        )
+        self.compensation_log = CompensationLog()
+        self.schema_history = SchemaHistory()
+        self.wrappers: list[Wrapper] = []
+        if attach_wrappers:
+            for source in engine.sources.values():
+                self.wrappers.append(Wrapper(source, self.umq.receive))
+        self.mv = MaterializedView(
+            view.name, view.result_schema(engine.sources)
+        )
+        self.initial_load()
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def cost(self) -> CostModel:
+        return self.engine.cost_model
+
+    @property
+    def metrics(self) -> Metrics:
+        return self.engine.metrics
+
+    def _schema_lookup(
+        self, source: str, relation: str
+    ) -> RelationSchema | None:
+        owner = self.engine.sources.get(source)
+        if owner is None or not owner.has_relation(relation):
+            return None
+        return owner.schema_of(relation)
+
+    def connect(self, source: DataSource) -> None:
+        """Attach a source that joined after construction."""
+        self.engine.add_source(source)
+        self.wrappers.append(Wrapper(source, self.umq.receive))
+
+    def _translated(self, message):
+        """Map a data-update message through the schema history.
+
+        Returns a message whose payload speaks the *current* schema
+        (identity fast path when nothing ever changed), or ``None`` when
+        the updated relation no longer exists.
+        """
+        from ..sources.messages import UpdateMessage
+
+        if self.schema_history.is_empty():
+            return message
+        translated = self.schema_history.translate_data_update(
+            message.source, message.payload
+        )
+        if translated is None:
+            return None
+        if translated is message.payload:
+            return message
+        return UpdateMessage(
+            message.source,
+            message.seqno,
+            message.committed_at,
+            translated,
+        )
+
+    # ------------------------------------------------------------------
+    # the scheduler protocol (shared with MultiViewManager)
+    # ------------------------------------------------------------------
+
+    @property
+    def maintenance_queries(self) -> tuple:
+        """The view queries dependency detection must consider."""
+        return (self.view.query,)
+
+    def speculative_queries(self, message) -> tuple:
+        """What the view queries would look like after this schema
+        change — VS is pure, so we can ask without committing."""
+        try:
+            result = self.synchronizer.synchronize(self.view, message)
+        except Exception:
+            return (self.view.query,)
+        return (result.definition.query,)
+
+    # ------------------------------------------------------------------
+    # initial load and oracle recompute
+    # ------------------------------------------------------------------
+
+    def _direct_tables(self, view: ViewDefinition) -> dict[str, Table]:
+        tables: dict[str, Table] = {}
+        for ref in view.query.relations:
+            source = self.engine.sources[ref.source]
+            tables[ref.alias] = source.catalog.table(ref.relation)
+        return tables
+
+    def initial_load(self) -> None:
+        """Populate the extent from the current source states (free)."""
+        extent = execute(self.view.query, self._direct_tables(self.view))
+        self.mv.replace_extent(extent, self.view.version)
+        self.mv.refresh_count = 0
+
+    def recompute_reference(self) -> Table:
+        """Oracle: what the extent *should* be right now (zero cost)."""
+        return execute(self.view.query, self._direct_tables(self.view))
+
+    # ------------------------------------------------------------------
+    # maintenance process construction
+    # ------------------------------------------------------------------
+
+    def build_maintenance(self, unit: MaintenanceUnit) -> MaintenanceProcess:
+        """The maintenance process for one unit (Definition 1).
+
+        The process is *compute then install*: all source queries and
+        compensation happen first, the materialized view and the view
+        definition are only written at the very end (``w(MV) c(MV)``) —
+        an abort mid-way leaves both untouched.
+        """
+        outcome = yield from self.compute_maintenance(unit)
+        self.apply_outcome(outcome, counted_updates=len(unit))
+        return outcome
+
+    def compute_maintenance(
+        self, unit: MaintenanceUnit
+    ) -> MaintenanceProcess:
+        """Compute (but do not install) the effect of one unit.
+
+        Returns a :class:`MaintenanceOutcome`; multi-view deployments
+        compute outcomes for every view before installing any of them,
+        preserving unit atomicity across views.
+        """
+        if unit.has_schema_change:
+            outcome = yield from self._compute_schema_unit(unit)
+        else:
+            outcome = yield from self._compute_data_unit(unit)
+        return outcome
+
+    def apply_outcome(
+        self, outcome: "MaintenanceOutcome", counted_updates: int
+    ) -> None:
+        """Install a computed outcome (``w(MV) c(MV)``)."""
+        if outcome.applied_changes:
+            for source, change in outcome.applied_changes:
+                self.schema_history.record(source, change)
+        if outcome.extent is not None and outcome.definition is not None:
+            self.view = outcome.definition
+            self.mv.replace_extent(outcome.extent, outcome.definition.version)
+            self.metrics.view_refreshes += 1
+        elif outcome.delta is not None and not outcome.delta.is_empty():
+            self.mv.apply(outcome.delta)
+            self.metrics.view_refreshes += 1
+            self.metrics.view_delta_tuples += outcome.delta.net_size()
+        self.metrics.maintained_updates += counted_updates
+
+    def _compute_data_unit(
+        self,
+        unit: MaintenanceUnit,
+        anchor: MaintenanceUnit | None = None,
+    ) -> MaintenanceProcess:
+        """M(DU) for a unit of one or more data updates.
+
+        ``anchor`` is the unit actually sitting at the head of the UMQ;
+        it differs from ``unit`` when a batch's data updates are split
+        out for sequential VM (the anchor stays the batch).
+        """
+        anchor = anchor or unit
+        messages = [
+            translated
+            for m in unit.messages
+            if m.is_data_update
+            for translated in [self._translated(m)]
+            if translated is not None
+        ]
+        total: Delta | None = None
+        for index, message in enumerate(messages):
+            sub_unit = MaintenanceUnit([message])
+            # Compensation must treat later in-unit updates as pending.
+            process = maintain_data_update(
+                self.view,
+                sub_unit,
+                _UMQView(self, anchor, messages[index + 1 :]),
+                self.compensation_log,
+            )
+            delta = yield from process
+            if delta is None or delta.is_empty():
+                continue
+            if total is None:
+                total = delta
+            else:
+                total.merge(delta)
+        if total is not None and not total.is_empty():
+            yield Delay(self.cost.refresh(total.net_size()), "refresh")
+        return MaintenanceOutcome(delta=total)
+
+    def _compute_schema_unit(
+        self, unit: MaintenanceUnit
+    ) -> MaintenanceProcess:
+        """M(SC) / batch maintenance: VS per combined change, then VA.
+
+        The rewritten definition is kept local (``w(VD)`` is in-memory,
+        footnote 1); it is installed together with the adapted extent in
+        the final ``w(MV) c(MV)`` step.
+        """
+        combined = combine_schema_changes(schema_changes_of(unit))
+        candidate = self.view
+        effective_changes = 0
+        for source, change in combined:
+            assert isinstance(change, SchemaChange)
+            yield Delay(self.cost.vs_rewrite, "vs_rewrite")
+            result = self.synchronizer.synchronize_change(
+                candidate, source, change
+            )
+            candidate = result.definition
+            if result.report.changed:
+                effective_changes += 1
+
+        if effective_changes == 0:
+            # No schema change touched the view.  Any batched data
+            # updates still need ordinary VM against the unchanged
+            # definition.
+            data_updates = data_updates_of(unit)
+            if data_updates:
+                outcome = yield from self._compute_data_unit(
+                    MaintenanceUnit(data_updates), anchor=unit
+                )
+                outcome.applied_changes = list(combined)
+                return outcome
+            return MaintenanceOutcome(applied_changes=list(combined))
+
+        extent = yield from adapt_view(
+            candidate,
+            unit,
+            _UMQView(self, unit, []),
+            self.cost,
+            rounds=effective_changes,
+            log=self.compensation_log,
+        )
+        assert isinstance(extent, Table)
+        return MaintenanceOutcome(
+            definition=candidate,
+            extent=extent,
+            applied_changes=list(combined),
+        )
+
+
+class _UMQView:
+    """UMQ facade: in-unit pending messages plus stale-name translation.
+
+    When a batch's data updates are maintained sequentially, updates
+    later *within the same unit* must be compensated away exactly like
+    queued updates behind the unit; this facade makes them visible to
+    :func:`~repro.maintenance.compensation.pending_data_updates` without
+    mutating the real queue.  It also translates every pending data
+    update through the manager's schema history, so compensation matches
+    updates committed under old relation/attribute names against the
+    current-name queries.
+    """
+
+    def __init__(self, manager: "ViewManager", unit, extra) -> None:
+        self._manager = manager
+        self._unit = unit
+        self._extra = list(extra)
+
+    def messages_behind(self, _sub_unit) -> list:
+        pending = self._extra + self._manager.umq.messages_behind(
+            self._unit
+        )
+        if self._manager.schema_history.is_empty():
+            return pending
+        translated = []
+        for message in pending:
+            if not message.is_data_update:
+                translated.append(message)
+                continue
+            mapped = self._manager._translated(message)
+            if mapped is not None:
+                translated.append(mapped)
+        return translated

@@ -1,0 +1,48 @@
+"""The materialized view extent.
+
+The extent is a bag table maintained incrementally by deltas (``w(MV)``
+followed by ``c(MV)`` in Definition 1).  Schema changes replace the
+extent wholesale when view adaptation rebuilds it against a new view
+definition.
+"""
+
+from __future__ import annotations
+
+from ..relational.delta import Delta
+from ..relational.schema import RelationSchema
+from ..relational.table import Table
+
+
+class MaterializedView:
+    """A view extent plus refresh bookkeeping."""
+
+    def __init__(self, name: str, schema: RelationSchema) -> None:
+        self.name = name
+        self.extent = Table(schema.renamed(name))
+        self.refresh_count = 0
+        #: version of the view definition the extent is consistent with
+        self.definition_version = 1
+
+    @property
+    def schema(self) -> RelationSchema:
+        return self.extent.schema
+
+    def apply(self, delta: Delta) -> None:
+        """Refresh: apply one signed delta and commit."""
+        self.extent.apply_delta(delta)
+        self.refresh_count += 1
+
+    def replace_extent(self, table: Table, definition_version: int) -> None:
+        """Adaptation installed a rebuilt extent for a new definition."""
+        self.extent = table.copy(self.name)
+        self.definition_version = definition_version
+        self.refresh_count += 1
+
+    def __len__(self) -> int:
+        return len(self.extent)
+
+    def __repr__(self) -> str:
+        return (
+            f"MaterializedView({self.name!r}, rows={len(self.extent)}, "
+            f"refreshes={self.refresh_count}, v{self.definition_version})"
+        )

@@ -1,0 +1,126 @@
+"""Multiple materialized views over one update stream.
+
+The paper closes by noting Dyno "is a general strategy ... and thus has
+the potential to be plugged into any view system".  This module realizes
+that claim: a :class:`MultiViewManager` maintains several materialized
+views over the same autonomous sources, sharing **one** UMQ and one Dyno
+scheduler.
+
+Semantics:
+
+* dependency detection considers the union of all views' maintenance
+  footprints (a schema change conflicting with *any* view must be
+  ordered first);
+* one maintenance unit is maintained for every view **atomically**: all
+  per-view outcomes are computed first (any broken query aborts the
+  whole unit before anything is written), then installed together — the
+  multi-view generalization of ``w(MV) c(MV)``.
+"""
+
+from __future__ import annotations
+
+from ..relational.query import SPJQuery
+from ..sim.costs import CostModel
+from ..sim.engine import MaintenanceProcess, SimEngine
+from ..sim.metrics import Metrics
+from ..sources.messages import UpdateMessage
+from ..sources.mkb import MetaKnowledgeBase
+from ..sources.source import DataSource
+from ..sources.wrapper import Wrapper
+from .definition import ViewDefinition
+from .manager import MaintenanceOutcome, ViewManager
+from .umq import MaintenanceUnit, UpdateMessageQueue
+
+
+class MultiViewManager:
+    """Maintains a set of materialized views over shared sources.
+
+    Exposes the same protocol :class:`~repro.core.scheduler
+    .DynoScheduler` drives (``umq``, ``maintenance_queries``,
+    ``speculative_queries``, ``build_maintenance``, ``cost``,
+    ``metrics``), so the scheduler works unchanged.
+    """
+
+    def __init__(
+        self,
+        engine: SimEngine,
+        views: list[ViewDefinition],
+        mkb: MetaKnowledgeBase | None = None,
+    ) -> None:
+        if not views:
+            raise ValueError("MultiViewManager needs at least one view")
+        names = [view.name for view in views]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate view names: {names}")
+        self.engine = engine
+        self.umq = UpdateMessageQueue()
+        self.wrappers: list[Wrapper] = [
+            Wrapper(source, self.umq.receive)
+            for source in engine.sources.values()
+        ]
+        self.managers: list[ViewManager] = [
+            ViewManager(
+                engine, view, mkb, umq=self.umq, attach_wrappers=False
+            )
+            for view in views
+        ]
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def cost(self) -> CostModel:
+        return self.engine.cost_model
+
+    @property
+    def metrics(self) -> Metrics:
+        return self.engine.metrics
+
+    def manager_for(self, view_name: str) -> ViewManager:
+        for manager in self.managers:
+            if manager.view.name == view_name:
+                return manager
+        raise KeyError(view_name)
+
+    def view(self, view_name: str) -> ViewDefinition:
+        return self.manager_for(view_name).view
+
+    def connect(self, source: DataSource) -> None:
+        self.engine.add_source(source)
+        self.wrappers.append(Wrapper(source, self.umq.receive))
+
+    # ------------------------------------------------------------------
+    # the scheduler protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def maintenance_queries(self) -> tuple[SPJQuery, ...]:
+        return tuple(manager.view.query for manager in self.managers)
+
+    def speculative_queries(
+        self, message: UpdateMessage
+    ) -> tuple[SPJQuery, ...]:
+        queries: list[SPJQuery] = []
+        for manager in self.managers:
+            queries.extend(manager.speculative_queries(message))
+        return tuple(queries)
+
+    def build_maintenance(self, unit: MaintenanceUnit) -> MaintenanceProcess:
+        """Maintain one unit for every view, atomically.
+
+        Compute-then-install: a broken query during any view's compute
+        phase aborts the whole unit with no view touched; the update is
+        counted as maintained exactly once.
+        """
+        outcomes: list[MaintenanceOutcome] = []
+        for manager in self.managers:
+            outcome = yield from manager.compute_maintenance(unit)
+            outcomes.append(outcome)
+        for index, (manager, outcome) in enumerate(
+            zip(self.managers, outcomes)
+        ):
+            manager.apply_outcome(
+                outcome, counted_updates=len(unit) if index == 0 else 0
+            )
+        return outcomes

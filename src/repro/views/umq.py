@@ -1,0 +1,161 @@
+"""The Update Message Queue (UMQ).
+
+The UMQ buffers committed source updates awaiting maintenance.  Its
+entries are :class:`MaintenanceUnit` objects — normally one update each,
+but dependency correction can merge several updates into one *batch
+unit* that is maintained atomically (Section 4.2: cycles in the
+dependency graph cannot be aborted, so their updates are processed in
+one batch).
+
+The UMQ also owns the ``NewSchemaChangeFlag`` of Figure 6/7: the
+UMQ-manager side sets it when a schema change arrives, and the Dyno loop
+atomically tests-and-clears it to decide whether detection can be
+skipped.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..relational.errors import ReproError
+from ..sources.messages import UpdateMessage
+
+
+class UMQError(ReproError):
+    """The UMQ was manipulated inconsistently."""
+
+
+@dataclass
+class MaintenanceUnit:
+    """One schedulable maintenance task: a single update or a batch.
+
+    Messages inside a batch keep their arrival order so that per-source
+    preprocessing (Section 5) can combine them respecting commit order.
+    """
+
+    messages: list[UpdateMessage] = field(default_factory=list)
+
+    @classmethod
+    def single(cls, message: UpdateMessage) -> "MaintenanceUnit":
+        return cls([message])
+
+    @classmethod
+    def merged(cls, units: Iterable["MaintenanceUnit"]) -> "MaintenanceUnit":
+        messages: list[UpdateMessage] = []
+        for unit in units:
+            messages.extend(unit.messages)
+        return cls(messages)
+
+    @property
+    def is_batch(self) -> bool:
+        return len(self.messages) > 1
+
+    @property
+    def has_schema_change(self) -> bool:
+        return any(message.is_schema_change for message in self.messages)
+
+    @property
+    def head_message(self) -> UpdateMessage:
+        return self.messages[0]
+
+    def describe(self) -> str:
+        if not self.is_batch:
+            return self.messages[0].describe()
+        inner = "; ".join(message.describe() for message in self.messages)
+        return f"BATCH[{inner}]"
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def __iter__(self) -> Iterator[UpdateMessage]:
+        return iter(self.messages)
+
+
+class UpdateMessageQueue:
+    """FIFO of maintenance units with reorder support."""
+
+    def __init__(self) -> None:
+        self._units: list[MaintenanceUnit] = []
+        self.new_schema_change_flag = False
+        self.received_messages = 0
+
+    # ------------------------------------------------------------------
+    # UMQ manager side (Figure 7)
+    # ------------------------------------------------------------------
+
+    def receive(self, message: UpdateMessage) -> None:
+        """Enqueue a newly arrived update; flag schema changes."""
+        self._units.append(MaintenanceUnit.single(message))
+        self.received_messages += 1
+        if message.is_schema_change:
+            self.new_schema_change_flag = True
+
+    def test_and_clear_schema_change_flag(self) -> bool:
+        """The atomic ``Test_If_True_Set_False`` of Figure 6, line 1."""
+        was_set = self.new_schema_change_flag
+        self.new_schema_change_flag = False
+        return was_set
+
+    # ------------------------------------------------------------------
+    # Dyno side
+    # ------------------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return not self._units
+
+    def __len__(self) -> int:
+        return len(self._units)
+
+    @property
+    def units(self) -> tuple[MaintenanceUnit, ...]:
+        return tuple(self._units)
+
+    def messages(self) -> list[UpdateMessage]:
+        return [message for unit in self._units for message in unit]
+
+    def head(self) -> MaintenanceUnit:
+        if not self._units:
+            raise UMQError("UMQ is empty")
+        return self._units[0]
+
+    def remove_head(self) -> MaintenanceUnit:
+        if not self._units:
+            raise UMQError("UMQ is empty")
+        return self._units.pop(0)
+
+    def position_of(self, message: UpdateMessage) -> int:
+        """Queue position of the unit containing ``message``."""
+        for index, unit in enumerate(self._units):
+            if any(existing is message for existing in unit):
+                return index
+        raise UMQError(f"message not in UMQ: {message.describe()}")
+
+    def messages_behind(
+        self, unit: MaintenanceUnit
+    ) -> list[UpdateMessage]:
+        """All messages in units strictly after ``unit``."""
+        for index, existing in enumerate(self._units):
+            if existing is unit:
+                return [
+                    message
+                    for later in self._units[index + 1 :]
+                    for message in later
+                ]
+        raise UMQError("unit not in UMQ")
+
+    def replace_order(self, units: list[MaintenanceUnit]) -> None:
+        """Install a corrected order; the message multiset must match."""
+        current = Counter(id(message) for message in self.messages())
+        proposed = Counter(
+            id(message) for unit in units for message in unit
+        )
+        if current != proposed:
+            raise UMQError(
+                "corrected order does not preserve the queued messages"
+            )
+        self._units = list(units)
+
+    def __repr__(self) -> str:
+        return f"UMQ({len(self._units)} units)"

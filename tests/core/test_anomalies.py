@@ -1,0 +1,51 @@
+"""Anomaly taxonomy of Section 3.1."""
+
+from repro.core.anomalies import AnomalyType, classify
+from repro.relational.schema import RelationSchema
+from repro.sources.messages import (
+    DataUpdate,
+    DropAttribute,
+    UpdateMessage,
+)
+
+R = RelationSchema.of("R", ["a"])
+
+
+def du() -> UpdateMessage:
+    return UpdateMessage("s", 1, 0.0, DataUpdate.insert(R, [("x",)]))
+
+
+def sc() -> UpdateMessage:
+    return UpdateMessage("s", 2, 0.0, DropAttribute("R", "a"))
+
+
+class TestClassify:
+    def test_type_1(self):
+        assert classify(du(), du()) is AnomalyType.DU_CONFLICTS_WITH_M_DU
+
+    def test_type_2(self):
+        assert classify(du(), sc()) is AnomalyType.DU_CONFLICTS_WITH_M_SC
+
+    def test_type_3(self):
+        assert classify(sc(), du()) is AnomalyType.SC_CONFLICTS_WITH_M_DU
+
+    def test_type_4(self):
+        assert classify(sc(), sc()) is AnomalyType.SC_CONFLICTS_WITH_M_SC
+
+
+class TestProperties:
+    def test_broken_query_types(self):
+        assert AnomalyType.SC_CONFLICTS_WITH_M_DU.is_broken_query
+        assert AnomalyType.SC_CONFLICTS_WITH_M_SC.is_broken_query
+        assert not AnomalyType.DU_CONFLICTS_WITH_M_DU.is_broken_query
+        assert not AnomalyType.DU_CONFLICTS_WITH_M_SC.is_broken_query
+
+    def test_compensatable_is_complement(self):
+        for anomaly in AnomalyType:
+            assert anomaly.is_compensatable != anomaly.is_broken_query
+
+    def test_enum_values_match_paper_numbering(self):
+        assert AnomalyType.DU_CONFLICTS_WITH_M_DU.value == 1
+        assert AnomalyType.DU_CONFLICTS_WITH_M_SC.value == 2
+        assert AnomalyType.SC_CONFLICTS_WITH_M_DU.value == 3
+        assert AnomalyType.SC_CONFLICTS_WITH_M_SC.value == 4

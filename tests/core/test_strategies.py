@@ -1,0 +1,51 @@
+"""Strategy definitions."""
+
+from repro.core.strategies import (
+    BLIND_MERGE,
+    NAIVE,
+    OPTIMISTIC,
+    PESSIMISTIC,
+    BrokenQueryPolicy,
+    Strategy,
+)
+
+
+def test_pessimistic_is_pre_exec_plus_correct():
+    assert PESSIMISTIC.pre_exec
+    assert PESSIMISTIC.on_broken_query is BrokenQueryPolicy.CORRECT
+
+
+def test_optimistic_is_in_exec_only():
+    assert not OPTIMISTIC.pre_exec
+    assert OPTIMISTIC.on_broken_query is BrokenQueryPolicy.CORRECT
+
+
+def test_naive_skips():
+    assert not NAIVE.pre_exec
+    assert NAIVE.on_broken_query is BrokenQueryPolicy.SKIP
+
+
+def test_blind_merge_merges_all():
+    assert not BLIND_MERGE.pre_exec
+    assert BLIND_MERGE.on_broken_query is BrokenQueryPolicy.MERGE_ALL
+
+
+def test_str_is_name():
+    assert str(PESSIMISTIC) == "pessimistic"
+
+
+def test_custom_strategy():
+    custom = Strategy(
+        "eager", pre_exec=True, on_broken_query=BrokenQueryPolicy.MERGE_ALL
+    )
+    assert custom.pre_exec
+    assert custom.name == "eager"
+
+
+def test_strategies_are_frozen():
+    import dataclasses
+
+    import pytest
+
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        PESSIMISTIC.pre_exec = False  # type: ignore[misc]

@@ -1,0 +1,88 @@
+"""The ``python -m repro.experiments`` command-line runner."""
+
+import pytest
+
+import repro.experiments.__main__ as cli
+
+
+class TestArgumentHandling:
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["fig99"])
+
+    def test_runner_table_contains_all_figures(self):
+        runners = cli._runners(full=False)
+        for name in ("fig08", "fig09", "fig10", "fig11", "fig12"):
+            assert name in runners
+        assert any(name.startswith("abl-") for name in runners)
+
+    def test_full_and_quick_tables_have_same_keys(self):
+        assert set(cli._runners(False)) == set(cli._runners(True))
+
+
+class TestExecution:
+    def test_runs_requested_figure(self, monkeypatch, capsys):
+        calls = []
+
+        class FakeResult:
+            consistent = True
+
+            def table(self):
+                return "FAKE TABLE"
+
+        def fake_runners(full):
+            return {"fig09": lambda: calls.append(full) or FakeResult()}
+
+        monkeypatch.setattr(cli, "_runners", fake_runners)
+        assert cli.main(["fig09"]) == 0
+        assert calls == [False]
+        assert "FAKE TABLE" in capsys.readouterr().out
+
+    def test_full_flag_threaded_through(self, monkeypatch):
+        seen = []
+
+        class FakeResult:
+            consistent = True
+
+            def table(self):
+                return ""
+
+        monkeypatch.setattr(
+            cli,
+            "_runners",
+            lambda full: {"fig09": lambda: seen.append(full) or FakeResult()},
+        )
+        cli.main(["fig09", "--full"])
+        assert seen == [True]
+
+    def test_all_runs_everything(self, monkeypatch):
+        ran = []
+
+        class FakeResult:
+            consistent = True
+
+            def table(self):
+                return ""
+
+        monkeypatch.setattr(
+            cli,
+            "_runners",
+            lambda full: {
+                name: (lambda n=name: ran.append(n) or FakeResult())
+                for name in ("fig09", "fig10")
+            },
+        )
+        cli.main(["all"])
+        assert ran == ["fig09", "fig10"]
+
+    def test_inconsistent_result_fails(self, monkeypatch):
+        class BadResult:
+            consistent = False
+
+            def table(self):
+                return ""
+
+        monkeypatch.setattr(
+            cli, "_runners", lambda full: {"fig09": BadResult}
+        )
+        assert cli.main(["fig09"]) == 1

@@ -1,0 +1,64 @@
+"""FigureResult scaffolding."""
+
+from repro.experiments.runner import FigureResult, SeriesPoint
+
+
+def make_result() -> FigureResult:
+    result = FigureResult(
+        figure_id="FIG-X",
+        title="demo",
+        x_label="n",
+        series_names=["a", "b"],
+    )
+    result.add(1, a=1.0, b=2.0)
+    result.add(2, a=3.0, b=4.0)
+    return result
+
+
+def test_series_extraction():
+    result = make_result()
+    assert result.series("a") == [1.0, 3.0]
+    assert result.xs() == [1, 2]
+
+
+def test_table_renders_all_points():
+    result = make_result()
+    table = result.table()
+    assert "FIG-X" in table
+    assert "1.00" in table and "4.00" in table
+
+
+def test_missing_value_renders_dash():
+    result = make_result()
+    result.points.append(SeriesPoint(3, {"a": 5.0}))
+    assert "-" in result.table()
+
+
+def test_notes_and_warnings_rendered():
+    result = make_result()
+    result.notes.append("a note")
+    result.consistent = False
+    table = result.table()
+    assert "note: a note" in table
+    assert "WARNING" in table
+
+
+def test_checked_folds_reports():
+    from repro.experiments.runner import checked
+    from repro.views.consistency import ConsistencyReport
+
+    result = make_result()
+    good = ConsistencyReport(True, 1, 1)
+    bad = ConsistencyReport(False, 2, 1)
+    checked(result, [good, bad])
+    assert not result.consistent
+    assert any("INCONSISTENT" in note for note in result.notes)
+
+
+def test_checked_all_good_keeps_consistent():
+    from repro.experiments.runner import checked
+    from repro.views.consistency import ConsistencyReport
+
+    result = make_result()
+    checked(result, [ConsistencyReport(True, 1, 1)])
+    assert result.consistent

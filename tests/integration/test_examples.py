@@ -1,0 +1,62 @@
+"""Every shipped example must run clean and print what it promises."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+def test_quickstart():
+    output = run_example("quickstart.py")
+    assert "CREATE VIEW BookInfo" in output
+    assert "consistent: view matches recompute" in output
+
+
+def test_broken_query_demo():
+    output = run_example("broken_query_demo.py")
+    assert "naive FIFO" in output
+    assert "Dyno (pessimistic)" in output
+    # the cascade act must show the naive divergence
+    assert "INCONSISTENT: the view definition is stale" in output
+
+
+def test_cyclic_dependency():
+    output = run_example("cyclic_dependency.py")
+    assert "cycles merged into batches: 1" in output
+    assert "ReaderDigest R" in output  # the Query (5) rewriting
+    assert "consistent" in output
+
+
+def test_data_grid_monitor():
+    output = run_example("data_grid_monitor.py")
+    assert "pessimistic" in output
+    assert "naive" in output
+    assert output.count("yes") >= 3  # three converging strategies
+
+
+def test_multi_view_sql():
+    output = run_example("multi_view_sql.py")
+    assert "CREATE VIEW BookInfo" in output
+    assert "CREATE VIEW CheapBooks" in output
+    assert "Stock I" in output  # the rename propagated into both views
+
+
+def test_abort_timeline():
+    output = run_example("abort_timeline.py")
+    assert "broken" in output and "abort" in output
+    assert "correction" in output
+    assert "consistent: view matches recompute" in output

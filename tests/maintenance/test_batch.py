@@ -1,0 +1,266 @@
+"""Section 5 batch preprocessing: combining SCs, homogenizing DUs."""
+
+from repro.maintenance.batch import (
+    combine_schema_changes,
+    data_updates_of,
+    homogenize_data_updates,
+    schema_changes_of,
+)
+from repro.relational.delta import Delta
+from repro.relational.schema import Attribute, RelationSchema
+from repro.sources.messages import (
+    AddAttribute,
+    CreateRelation,
+    DataUpdate,
+    DropAttribute,
+    DropRelation,
+    RenameAttribute,
+    RenameRelation,
+    RestructureRelations,
+    UpdateMessage,
+)
+from repro.views.umq import MaintenanceUnit
+
+R = RelationSchema.of("R", ["a", "b", "c"])
+
+
+class TestCombineRenames:
+    def test_rename_chain_collapses(self):
+        """'rename A to B' then 'rename B to C' -> 'rename A to C'."""
+        combined = combine_schema_changes(
+            [
+                ("s", RenameRelation("R", "R2")),
+                ("s", RenameRelation("R2", "R3")),
+            ]
+        )
+        assert combined == [("s", RenameRelation("R", "R3"))]
+
+    def test_attribute_rename_chain_collapses(self):
+        combined = combine_schema_changes(
+            [
+                ("s", RenameAttribute("R", "a", "a2")),
+                ("s", RenameAttribute("R", "a2", "a3")),
+            ]
+        )
+        assert combined == [("s", RenameAttribute("R", "a", "a3"))]
+
+    def test_rename_back_to_original_vanishes(self):
+        combined = combine_schema_changes(
+            [
+                ("s", RenameRelation("R", "R2")),
+                ("s", RenameRelation("R2", "R")),
+            ]
+        )
+        assert combined == []
+
+    def test_rename_then_drop_attr_uses_original_names(self):
+        combined = combine_schema_changes(
+            [
+                ("s", RenameRelation("R", "R2")),
+                ("s", DropAttribute("R2", "b")),
+            ]
+        )
+        assert ("s", DropAttribute("R", "b")) in combined
+        assert ("s", RenameRelation("R", "R2")) in combined
+        # attribute change emitted before the relation rename
+        assert combined.index(
+            ("s", DropAttribute("R", "b"))
+        ) < combined.index(("s", RenameRelation("R", "R2")))
+
+    def test_attr_rename_then_drop_collapses(self):
+        combined = combine_schema_changes(
+            [
+                ("s", RenameAttribute("R", "a", "a2")),
+                ("s", DropAttribute("R", "a2")),
+            ]
+        )
+        assert combined == [("s", DropAttribute("R", "a"))]
+
+    def test_rename_then_drop_relation_collapses(self):
+        combined = combine_schema_changes(
+            [
+                ("s", RenameRelation("R", "R2")),
+                ("s", DropRelation("R2")),
+            ]
+        )
+        assert combined == [("s", DropRelation("R"))]
+
+    def test_adds_preserved(self):
+        added = AddAttribute("R", Attribute("z"), "dflt")
+        combined = combine_schema_changes([("s", added)])
+        assert combined == [("s", AddAttribute("R", Attribute("z"), "dflt"))]
+
+    def test_same_name_different_sources_independent(self):
+        combined = combine_schema_changes(
+            [
+                ("s1", RenameRelation("R", "R2")),
+                ("s2", RenameRelation("R", "R9")),
+            ]
+        )
+        assert ("s1", RenameRelation("R", "R2")) in combined
+        assert ("s2", RenameRelation("R", "R9")) in combined
+
+    def test_restructure_falls_back_to_sequence(self):
+        sequence = [
+            ("s", RenameRelation("R", "R2")),
+            (
+                "s",
+                RestructureRelations(
+                    dropped=("R2",),
+                    new_schema=RelationSchema.of("Flat", ["a"]),
+                ),
+            ),
+        ]
+        assert combine_schema_changes(sequence) == sequence
+
+    def test_create_falls_back_to_sequence(self):
+        sequence = [
+            ("s", CreateRelation(RelationSchema.of("New", ["a"]))),
+            ("s", RenameRelation("New", "New2")),
+        ]
+        assert combine_schema_changes(sequence) == sequence
+
+
+class TestUnitPartitioning:
+    def unit(self) -> MaintenanceUnit:
+        du = UpdateMessage(
+            "s", 1, 0.0, DataUpdate.insert(R, [("1", "2", "3")])
+        )
+        sc = UpdateMessage("s", 2, 1.0, DropAttribute("R", "b"))
+        return MaintenanceUnit([du, sc])
+
+    def test_schema_changes_of(self):
+        changes = schema_changes_of(self.unit())
+        assert changes == [("s", DropAttribute("R", "b"))]
+
+    def test_data_updates_of(self):
+        updates = data_updates_of(self.unit())
+        assert len(updates) == 1
+        assert updates[0].is_data_update
+
+
+class TestHomogenize:
+    def test_projection_across_schema_versions(self):
+        """insert (3,4); drop first attribute; insert (5) -> (4),(5)."""
+        wide = RelationSchema.of("R", ["x", "y"])
+        narrow = RelationSchema.of("R", ["y"])
+        du_old = UpdateMessage(
+            "s", 1, 0.0, DataUpdate.insert(wide, [("3", "4")])
+        )
+        du_new = UpdateMessage(
+            "s", 3, 2.0, DataUpdate.insert(narrow, [("5",)])
+        )
+        merged = homogenize_data_updates(
+            [du_old, du_new],
+            final_schemas={("s", "R"): narrow},
+            name_map={},
+        )
+        delta = merged[("s", "R")]
+        assert delta.count(("4",)) == 1
+        assert delta.count(("5",)) == 1
+
+    def test_renamed_relation_mapped(self):
+        schema = RelationSchema.of("R", ["a"])
+        final = RelationSchema.of("R2", ["a"])
+        du = UpdateMessage("s", 1, 0.0, DataUpdate.insert(schema, [("v",)]))
+        merged = homogenize_data_updates(
+            [du],
+            final_schemas={("s", "R2"): final},
+            name_map={("s", "R"): "R2"},
+        )
+        assert merged[("s", "R2")].count(("v",)) == 1
+
+    def test_missing_attribute_becomes_null(self):
+        old = RelationSchema.of("R", ["a"])
+        final = RelationSchema.of("R", ["a", "b"])
+        du = UpdateMessage("s", 1, 0.0, DataUpdate.insert(old, [("v",)]))
+        merged = homogenize_data_updates(
+            [du], final_schemas={("s", "R"): final}, name_map={}
+        )
+        assert merged[("s", "R")].count(("v", None)) == 1
+
+    def test_dropped_relation_skipped(self):
+        schema = RelationSchema.of("R", ["a"])
+        du = UpdateMessage("s", 1, 0.0, DataUpdate.insert(schema, [("v",)]))
+        merged = homogenize_data_updates([du], final_schemas={}, name_map={})
+        assert merged == {}
+
+    def test_deletes_merge_with_inserts(self):
+        schema = RelationSchema.of("R", ["a"])
+        du1 = UpdateMessage("s", 1, 0.0, DataUpdate.insert(schema, [("v",)]))
+        du2 = UpdateMessage("s", 2, 1.0, DataUpdate.delete(schema, [("v",)]))
+        merged = homogenize_data_updates(
+            [du1, du2], final_schemas={("s", "R"): schema}, name_map={}
+        )
+        assert merged[("s", "R")].is_empty()
+
+
+class TestCombineEmissionHazards:
+    """Regression pins for applicability hazards found by hypothesis."""
+
+    def apply_to_source(self, combined):
+        from repro.relational.types import AttributeType
+        from repro.sources.source import DataSource
+
+        source = DataSource("s")
+        source.create_relation(
+            RelationSchema.of(
+                "T", [("k", AttributeType.INT), "x"]
+            ),
+            [(1, "v")],
+        )
+        for _source, change in combined:
+            source.commit(change)
+        return source
+
+    def test_add_then_rename_added_folds_into_add(self):
+        combined = combine_schema_changes(
+            [
+                ("s", AddAttribute("T", Attribute("extra"))),
+                ("s", RenameAttribute("T", "extra", "extra2")),
+            ]
+        )
+        assert combined == [("s", AddAttribute("T", Attribute("extra2")))]
+        source = self.apply_to_source(combined)
+        assert "extra2" in source.schema_of("T")
+
+    def test_add_then_drop_added_cancels(self):
+        combined = combine_schema_changes(
+            [
+                ("s", AddAttribute("T", Attribute("extra"))),
+                ("s", DropAttribute("T", "extra")),
+            ]
+        )
+        assert combined == []
+
+    def test_adds_emitted_before_drops_avoid_empty_relation(self):
+        combined = combine_schema_changes(
+            [
+                ("s", AddAttribute("T", Attribute("extra"))),
+                ("s", DropAttribute("T", "k")),
+                ("s", DropAttribute("T", "x")),
+            ]
+        )
+        source = self.apply_to_source(combined)  # must not raise
+        assert source.schema_of("T").attribute_names == ("extra",)
+
+    def test_drop_into_rename_target_emitted_first(self):
+        combined = combine_schema_changes(
+            [
+                ("s", DropAttribute("T", "x")),
+                ("s", RenameAttribute("T", "k", "x")),
+            ]
+        )
+        source = self.apply_to_source(combined)  # must not raise
+        assert source.schema_of("T").attribute_names == ("x",)
+
+    def test_rename_swap_falls_back_to_original_sequence(self):
+        sequence = [
+            ("s", RenameAttribute("T", "k", "tmp")),
+            ("s", RenameAttribute("T", "x", "k")),
+            ("s", RenameAttribute("T", "tmp", "x")),
+        ]
+        combined = combine_schema_changes(sequence)
+        assert combined == sequence  # uncombined: always applicable
+        source = self.apply_to_source(combined)
+        assert source.schema_of("T").attribute_names == ("x", "k")

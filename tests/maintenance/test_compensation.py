@@ -1,0 +1,154 @@
+"""Local compensation: removing leaked concurrent effects from answers."""
+
+import pytest
+
+from repro.maintenance.compensation import (
+    CompensationLog,
+    compensate_answer,
+    effect_on_answer,
+    pending_data_updates,
+)
+from repro.relational.delta import Delta
+from repro.relational.predicate import Comparison, InPredicate, attr, conjunction
+from repro.relational.query import RelationRef, SPJQuery
+from repro.relational.schema import RelationSchema
+from repro.relational.table import Table
+from repro.sources.messages import (
+    DataUpdate,
+    DropAttribute,
+    UpdateMessage,
+)
+
+R = RelationSchema.of("R", ["k", "v"])
+
+
+def probe(values=("1", "2")) -> SPJQuery:
+    return SPJQuery(
+        relations=(RelationRef("s", "R", "R"),),
+        projection=(attr("R", "k"), attr("R", "v")),
+        selection=InPredicate(attr("R", "k"), frozenset(values)),
+    )
+
+
+class TestEffectOnAnswer:
+    def test_insert_effect(self):
+        delta = Delta.insertion(R, [("1", "a")])
+        effect = effect_on_answer(probe(), "R", delta)
+        assert effect.count(("1", "a")) == 1
+
+    def test_delete_effect_is_negative(self):
+        delta = Delta.deletion(R, [("1", "a")])
+        effect = effect_on_answer(probe(), "R", delta)
+        assert effect.count(("1", "a")) == -1
+
+    def test_filtered_by_probe(self):
+        delta = Delta.insertion(R, [("9", "out-of-probe")])
+        effect = effect_on_answer(probe(), "R", delta)
+        assert effect.is_empty()
+
+    def test_mixed_signs(self):
+        delta = Delta(R)
+        delta.add(("1", "a"), 1)
+        delta.add(("2", "b"), -1)
+        effect = effect_on_answer(probe(), "R", delta)
+        assert effect.count(("1", "a")) == 1
+        assert effect.count(("2", "b")) == -1
+
+    def test_empty_delta_empty_effect(self):
+        effect = effect_on_answer(probe(), "R", Delta(R))
+        assert effect.is_empty()
+
+    def test_effect_respects_selection(self):
+        query = SPJQuery(
+            relations=(RelationRef("s", "R", "R"),),
+            projection=(attr("R", "k"),),
+            selection=conjunction(
+                [
+                    InPredicate(attr("R", "k"), frozenset({"1"})),
+                    Comparison(attr("R", "v"), "=", "keep"),
+                ]
+            ),
+        )
+        delta = Delta.insertion(R, [("1", "keep"), ("1", "drop")])
+        effect = effect_on_answer(query, "R", delta)
+        assert effect.count(("1",)) == 1
+
+
+def message(
+    seqno: int, committed_at: float, payload
+) -> UpdateMessage:
+    return UpdateMessage("s", seqno, committed_at, payload)
+
+
+class TestPendingSelection:
+    def test_filters_by_relation_source_and_time(self):
+        du_r = message(1, 1.0, DataUpdate.insert(R, [("1", "a")]))
+        du_late = message(2, 5.0, DataUpdate.insert(R, [("2", "b")]))
+        du_other = UpdateMessage(
+            "other", 3, 1.0, DataUpdate.insert(R, [("1", "a")])
+        )
+        sc = message(4, 1.0, DropAttribute("R", "v"))
+        leaked = pending_data_updates(
+            [du_r, du_late, du_other, sc], "s", "R", answered_at=2.0
+        )
+        assert leaked == [du_r]
+
+    def test_boundary_inclusive(self):
+        du = message(1, 2.0, DataUpdate.insert(R, [("1", "a")]))
+        assert pending_data_updates([du], "s", "R", 2.0) == [du]
+
+
+class TestCompensateAnswer:
+    def test_removes_leaked_insert(self):
+        answer = Table(R, [("1", "a"), ("1", "leaked")])
+        leaked = [message(1, 0.5, DataUpdate.insert(R, [("1", "leaked")]))]
+        corrected = compensate_answer(answer, probe(), "R", leaked)
+        assert ("1", "leaked") not in corrected
+        assert ("1", "a") in corrected
+
+    def test_restores_leaked_delete(self):
+        answer = Table(R, [("1", "a")])  # ("2","gone") already deleted
+        leaked = [message(1, 0.5, DataUpdate.delete(R, [("2", "gone")]))]
+        corrected = compensate_answer(answer, probe(), "R", leaked)
+        assert ("2", "gone") in corrected
+
+    def test_extra_deltas_compensated(self):
+        answer = Table(R, [("1", "self")])
+        own = Delta.insertion(R, [("1", "self")])
+        corrected = compensate_answer(
+            answer, probe(), "R", [], extra_deltas=[own]
+        )
+        assert len(corrected) == 0
+
+    def test_over_compensation_clamped_and_logged(self):
+        # Subtracting an insert that is NOT in the answer would go
+        # negative; baseline strategies can cause this.
+        answer = Table(R)
+        leaked = [message(1, 0.5, DataUpdate.insert(R, [("1", "ghost")]))]
+        log = CompensationLog()
+        corrected = compensate_answer(answer, probe(), "R", leaked, log)
+        assert len(corrected) == 0
+        assert any("over-compensation" in note for note in log.notes)
+
+    def test_incompatible_delta_skipped_and_logged(self):
+        answer = Table(R, [("1", "a")])
+        narrow = RelationSchema.of("R", ["k"])  # missing attribute v
+        leaked = [message(1, 0.5, DataUpdate.insert(narrow, [("1",)]))]
+        log = CompensationLog()
+        corrected = compensate_answer(answer, probe(), "R", leaked, log)
+        assert ("1", "a") in corrected
+        assert log.skipped_incompatible == 1
+
+    def test_log_counts(self):
+        answer = Table(R, [("1", "x")])
+        leaked = [message(1, 0.5, DataUpdate.insert(R, [("1", "x")]))]
+        log = CompensationLog()
+        compensate_answer(answer, probe(), "R", leaked, log)
+        assert log.compensated_queries == 1
+        assert log.compensated_tuples == 1
+
+    def test_input_answer_unmodified(self):
+        answer = Table(R, [("1", "x")])
+        leaked = [message(1, 0.5, DataUpdate.insert(R, [("1", "x")]))]
+        compensate_answer(answer, probe(), "R", leaked)
+        assert ("1", "x") in answer

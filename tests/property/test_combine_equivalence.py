@@ -1,0 +1,115 @@
+"""Combining schema changes preserves semantics (hypothesis).
+
+Section 5's preprocessing must be a pure optimization: applying the
+*combined* change list to a source replica must land in exactly the
+same catalog state as applying the original sequence.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.maintenance.batch import combine_schema_changes
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.types import AttributeType
+from repro.sources.source import DataSource
+
+BASE = RelationSchema.of(
+    "R", [("k", AttributeType.INT), "a", "b", "c"]
+)
+OTHER = RelationSchema.of("T", [("k", AttributeType.INT), "x"])
+
+
+@st.composite
+def change_sequences(draw):
+    """Random applicable sequences of rename/drop/add changes.
+
+    Applicability is tracked by simulating names as we draw, so every
+    generated sequence can be committed to a real source.
+    """
+    from repro.sources.messages import (
+        AddAttribute,
+        DropAttribute,
+        DropRelation,
+        RenameAttribute,
+        RenameRelation,
+    )
+
+    relations = {"R": ["k", "a", "b", "c"], "T": ["k", "x"]}
+    sequence = []
+    counter = 0
+    for _ in range(draw(st.integers(min_value=0, max_value=8))):
+        if not relations:
+            break
+        name = draw(st.sampled_from(sorted(relations)))
+        attributes = relations[name]
+        kind = draw(
+            st.sampled_from(
+                ["rename_rel", "rename_attr", "drop_attr", "add_attr",
+                 "drop_rel"]
+            )
+        )
+        counter += 1
+        if kind == "rename_rel":
+            new = f"{name.partition('__')[0]}__n{counter}"
+            sequence.append(RenameRelation(name, new))
+            relations[new] = relations.pop(name)
+        elif kind == "rename_attr":
+            old = draw(st.sampled_from(attributes))
+            new = f"{old.partition('__')[0]}__n{counter}"
+            sequence.append(RenameAttribute(name, old, new))
+            attributes[attributes.index(old)] = new
+        elif kind == "drop_attr" and len(attributes) > 1:
+            target = draw(st.sampled_from(attributes))
+            sequence.append(DropAttribute(name, target))
+            attributes.remove(target)
+        elif kind == "add_attr":
+            new = f"extra__n{counter}"
+            sequence.append(
+                AddAttribute(name, Attribute(new, AttributeType.STRING))
+            )
+            attributes.append(new)
+        elif kind == "drop_rel" and len(relations) > 1:
+            sequence.append(DropRelation(name))
+            del relations[name]
+    return sequence
+
+
+def fresh_source() -> DataSource:
+    source = DataSource("s")
+    source.create_relation(BASE, [(1, "p", "q", "r"), (2, "s", "t", "u")])
+    source.create_relation(OTHER, [(9, "z")])
+    return source
+
+
+def catalog_state(source: DataSource) -> dict:
+    return {
+        name: (
+            source.catalog.schema(name).attribute_names,
+            sorted(source.catalog.table(name).rows()),
+        )
+        for name in sorted(source.catalog.relation_names)
+    }
+
+
+@given(change_sequences())
+@settings(max_examples=80, deadline=None)
+def test_combined_equals_sequential(sequence):
+    sequential = fresh_source()
+    for change in sequence:
+        sequential.commit(change)
+
+    combined_source = fresh_source()
+    combined = combine_schema_changes(
+        [("s", change) for change in sequence]
+    )
+    for _source, change in combined:
+        combined_source.commit(change)
+
+    assert catalog_state(sequential) == catalog_state(combined_source)
+
+
+@given(change_sequences())
+@settings(max_examples=60, deadline=None)
+def test_combined_is_no_longer_than_original(sequence):
+    combined = combine_schema_changes([("s", c) for c in sequence])
+    assert len(combined) <= len(sequence)

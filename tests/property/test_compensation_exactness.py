@@ -1,0 +1,120 @@
+"""Compensation exactness (hypothesis).
+
+SWEEP's core claim: subtracting the locally-known effect of leaked
+concurrent deltas from a probe answer reconstructs exactly the answer
+the source would have given *before* those deltas committed.  We
+generate a base table, a set of concurrent deltas and a probe, apply
+the deltas, compensate the polluted answer, and require equality with
+the clean answer.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.maintenance.compensation import (
+    compensate_answer,
+    pending_data_updates,
+)
+from repro.relational.delta import Delta
+from repro.relational.predicate import InPredicate, attr
+from repro.relational.query import RelationRef, SPJQuery
+from repro.relational.schema import RelationSchema
+from repro.relational.table import Table
+from repro.relational.types import AttributeType
+from repro.sources.messages import DataUpdate, UpdateMessage
+
+SCHEMA = RelationSchema.of(
+    "R", [("k", AttributeType.INT), ("v", AttributeType.STRING)]
+)
+
+rows = st.tuples(
+    st.integers(min_value=0, max_value=4),
+    st.sampled_from(["a", "b", "c"]),
+)
+
+
+def probe(values) -> SPJQuery:
+    return SPJQuery(
+        relations=(RelationRef("s", "R", "R"),),
+        projection=(attr("R", "k"), attr("R", "v")),
+        selection=InPredicate(attr("R", "k"), frozenset(values)),
+    )
+
+
+@st.composite
+def scenario(draw):
+    base_rows = draw(st.lists(rows, min_size=0, max_size=10))
+    table = Table(SCHEMA, base_rows)
+    deltas = []
+    live = list(base_rows)
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        delta = Delta(SCHEMA)
+        for _ in range(draw(st.integers(min_value=1, max_value=3))):
+            if live and draw(st.booleans()):
+                index = draw(
+                    st.integers(min_value=0, max_value=len(live) - 1)
+                )
+                delta.add(live.pop(index), -1)
+            else:
+                row = draw(rows)
+                delta.add(row, 1)
+                live.append(row)
+        deltas.append(delta)
+    probe_values = draw(
+        st.frozensets(st.integers(min_value=0, max_value=4), min_size=1)
+    )
+    return table, deltas, probe_values
+
+
+@given(scenario())
+@settings(max_examples=80, deadline=None)
+def test_compensation_reconstructs_clean_answer(data):
+    table, deltas, probe_values = data
+    query = probe(probe_values)
+    from repro.relational.executor import execute
+
+    clean = execute(query, {"R": table.copy()})
+
+    polluted_table = table.copy()
+    messages = []
+    for seqno, delta in enumerate(deltas, start=1):
+        polluted_table.apply_delta(delta)
+        messages.append(
+            UpdateMessage(
+                "s", seqno, float(seqno), DataUpdate("R", delta.copy())
+            )
+        )
+    polluted = execute(query, {"R": polluted_table})
+
+    leaked = pending_data_updates(
+        messages, "s", "R", answered_at=float(len(deltas)) + 1
+    )
+    assert leaked == messages  # all committed before the answer
+    corrected = compensate_answer(polluted, query, "R", leaked)
+    assert corrected == clean
+
+
+@given(scenario())
+@settings(max_examples=40, deadline=None)
+def test_compensation_ignores_post_answer_deltas(data):
+    table, deltas, probe_values = data
+    assume(deltas)
+    query = probe(probe_values)
+    from repro.relational.executor import execute
+
+    # Only the first half of the deltas committed before the answer.
+    cutoff = len(deltas) // 2
+    visible_table = table.copy()
+    for delta in deltas[:cutoff]:
+        visible_table.apply_delta(delta)
+    answer = execute(query, {"R": visible_table})
+
+    messages = [
+        UpdateMessage("s", i + 1, float(i + 1), DataUpdate("R", d.copy()))
+        for i, d in enumerate(deltas)
+    ]
+    leaked = pending_data_updates(
+        messages, "s", "R", answered_at=float(cutoff) + 0.5
+    )
+    corrected = compensate_answer(answer, query, "R", leaked)
+    assert corrected == execute(query, {"R": table.copy()})

@@ -1,0 +1,82 @@
+"""Multi-view convergence under randomized concurrent workloads."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import DynoScheduler
+from repro.core.strategies import OPTIMISTIC, PESSIMISTIC
+from repro.experiments.testbed import (
+    RELATION_COUNT,
+    build_testbed,
+    relation_name,
+    source_of_relation,
+)
+from repro.relational.executor import execute
+from repro.relational.predicate import AttrRef
+from repro.relational.query import JoinCondition, RelationRef, SPJQuery
+from repro.views.definition import ViewDefinition
+from repro.views.multi import MultiViewManager
+
+
+def subview(first: int, last: int) -> ViewDefinition:
+    """A view joining relations R{first+1}..R{last} of the testbed."""
+    relations = tuple(
+        RelationRef(
+            source_of_relation(index), relation_name(index), f"T{index + 1}"
+        )
+        for index in range(first, last)
+    )
+    projection = tuple(
+        AttrRef(f"T{index + 1}", f"A{index + 1}")
+        for index in range(first, last)
+    )
+    joins = tuple(
+        JoinCondition(
+            AttrRef(f"T{index + 1}", "K"), AttrRef(f"T{index + 2}", "K")
+        )
+        for index in range(first, last - 1)
+    )
+    return SPJQuery(relations, projection, joins)
+
+
+@given(
+    strategy=st.sampled_from([PESSIMISTIC, OPTIMISTIC]),
+    seed=st.integers(min_value=0, max_value=5000),
+    du_count=st.integers(min_value=0, max_value=12),
+    sc_count=st.integers(min_value=0, max_value=3),
+    sc_interval=st.floats(min_value=0.0, max_value=25.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_both_views_converge(
+    strategy, seed, du_count, sc_count, sc_interval
+):
+    testbed = build_testbed(strategy, tuples_per_relation=25, seed=seed)
+    engine = testbed.engine
+    views = [
+        ViewDefinition("Left", subview(0, 3)),
+        ViewDefinition("Right", subview(2, RELATION_COUNT)),
+    ]
+    multi = MultiViewManager(engine, views)
+    scheduler = DynoScheduler(multi, strategy)
+    engine.schedule_workload(
+        testbed.random_du_workload(du_count, 0.0, 0.4, seed=seed + 1)
+    )
+    engine.schedule_workload(
+        testbed.schema_change_workload(
+            sc_count, 0.0, sc_interval, seed=seed + 2
+        )
+    )
+    scheduler.run()
+    assert multi.umq.is_empty()
+    for manager in multi.managers:
+        tables = {
+            ref.alias: engine.sources[ref.source].catalog.table(
+                ref.relation
+            )
+            for ref in manager.view.query.relations
+        }
+        expected = execute(manager.view.query, tables)
+        assert manager.mv.extent == expected, (
+            f"view {manager.view.name} diverged "
+            f"(seed={seed}, du={du_count}, sc={sc_count})"
+        )

@@ -1,0 +1,75 @@
+"""Per-source catalogs."""
+
+import pytest
+
+from repro.relational.catalog import Catalog
+from repro.relational.errors import (
+    DuplicateRelationError,
+    UnknownRelationError,
+)
+from repro.relational.schema import RelationSchema
+from repro.relational.table import Table
+
+R = RelationSchema.of("R", ["a", "b"])
+T = RelationSchema.of("T", ["x"])
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog("src1")
+    catalog.create(R).insert(("1", "2"))
+    return catalog
+
+
+class TestDDL:
+    def test_create_and_lookup(self, catalog):
+        assert catalog.schema("R") is catalog.table("R").schema
+        assert "R" in catalog
+        assert len(catalog) == 1
+
+    def test_create_duplicate_rejected(self, catalog):
+        with pytest.raises(DuplicateRelationError):
+            catalog.create(R)
+
+    def test_add_table(self, catalog):
+        catalog.add_table(Table(T))
+        assert "T" in catalog
+
+    def test_add_table_duplicate_rejected(self, catalog):
+        with pytest.raises(DuplicateRelationError):
+            catalog.add_table(Table(R))
+
+    def test_drop_returns_table(self, catalog):
+        dropped = catalog.drop("R")
+        assert ("1", "2") in dropped
+        assert "R" not in catalog
+
+    def test_drop_unknown_raises(self, catalog):
+        with pytest.raises(UnknownRelationError) as excinfo:
+            catalog.drop("Z")
+        assert excinfo.value.source == "src1"
+
+    def test_rename(self, catalog):
+        catalog.rename("R", "R2")
+        assert "R2" in catalog
+        assert "R" not in catalog
+        assert catalog.schema("R2").name == "R2"
+
+    def test_rename_onto_existing_rejected(self, catalog):
+        catalog.create(T)
+        with pytest.raises(DuplicateRelationError):
+            catalog.rename("R", "T")
+
+
+class TestSnapshots:
+    def test_snapshot_is_deep(self, catalog):
+        snapshot = catalog.snapshot()
+        catalog.table("R").insert(("9", "9"))
+        assert ("9", "9") not in snapshot.table("R")
+
+    def test_relation_names(self, catalog):
+        catalog.create(T)
+        assert catalog.relation_names == ("R", "T")
+
+    def test_iteration(self, catalog):
+        assert [table.schema.name for table in catalog] == ["R"]

@@ -1,0 +1,117 @@
+"""Signed-multiset deltas."""
+
+import pytest
+
+from repro.relational.delta import Delta
+from repro.relational.errors import ArityError
+from repro.relational.schema import RelationSchema
+
+R = RelationSchema.of("R", ["a", "b"])
+
+
+class TestConstruction:
+    def test_insertion(self):
+        delta = Delta.insertion(R, [("x", "y"), ("x", "y"), ("p", "q")])
+        assert delta.count(("x", "y")) == 2
+        assert delta.count(("p", "q")) == 1
+
+    def test_deletion(self):
+        delta = Delta.deletion(R, [("x", "y")])
+        assert delta.count(("x", "y")) == -1
+
+    def test_wrong_arity_rejected(self):
+        delta = Delta(R)
+        with pytest.raises(ArityError):
+            delta.add(("only-one",))
+
+
+class TestAccumulation:
+    def test_cancellation_removes_entry(self):
+        delta = Delta(R)
+        delta.add(("x", "y"), 2)
+        delta.add(("x", "y"), -2)
+        assert delta.is_empty()
+        assert len(delta) == 0
+
+    def test_zero_count_noop(self):
+        delta = Delta(R)
+        delta.add(("x", "y"), 0)
+        assert delta.is_empty()
+
+    def test_merge(self):
+        left = Delta.insertion(R, [("a", "b")])
+        right = Delta.deletion(R, [("a", "b"), ("c", "d")])
+        left.merge(right)
+        assert left.count(("a", "b")) == 0
+        assert left.count(("c", "d")) == -1
+
+    def test_merge_arity_mismatch_rejected(self):
+        other = Delta(RelationSchema.of("S", ["a"]))
+        with pytest.raises(ArityError):
+            Delta(R).merge(other)
+
+
+class TestParts:
+    def test_insertions_and_deletions_split(self):
+        delta = Delta(R)
+        delta.add(("i", "i"), 3)
+        delta.add(("d", "d"), -2)
+        assert delta.insertions.count(("i", "i")) == 3
+        assert delta.insertions.count(("d", "d")) == 0
+        assert delta.deletions.count(("d", "d")) == 2  # positive counts
+
+    def test_negated(self):
+        delta = Delta(R)
+        delta.add(("x", "y"), 2)
+        flipped = delta.negated()
+        assert flipped.count(("x", "y")) == -2
+        assert delta.count(("x", "y")) == 2  # original intact
+
+    def test_negated_roundtrip_cancels(self):
+        delta = Delta.insertion(R, [("x", "y")])
+        delta.merge(delta.negated())
+        assert delta.is_empty()
+
+    def test_scaled(self):
+        delta = Delta.insertion(R, [("x", "y")])
+        assert delta.scaled(3).count(("x", "y")) == 3
+        assert delta.scaled(-1).count(("x", "y")) == -1
+        assert delta.scaled(0).is_empty()
+
+    def test_copy_is_independent(self):
+        delta = Delta.insertion(R, [("x", "y")])
+        duplicate = delta.copy()
+        duplicate.add(("x", "y"))
+        assert delta.count(("x", "y")) == 1
+        assert duplicate.count(("x", "y")) == 2
+
+
+class TestInspection:
+    def test_rows_repeats_by_abs_count(self):
+        delta = Delta(R)
+        delta.add(("x", "y"), 2)
+        delta.add(("d", "d"), -1)
+        rows = list(delta.rows())
+        assert rows.count(("x", "y")) == 2
+        assert rows.count(("d", "d")) == 1
+
+    def test_net_size(self):
+        delta = Delta(R)
+        delta.add(("x", "y"), 2)
+        delta.add(("d", "d"), -3)
+        assert delta.net_size() == 5
+
+    def test_equality_is_by_net_effect(self):
+        left = Delta(R)
+        left.add(("x", "y"), 1)
+        left.add(("x", "y"), 1)
+        right = Delta(R)
+        right.add(("x", "y"), 2)
+        assert left == right
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Delta(R))
+
+    def test_repr_mentions_schema(self):
+        assert "R" in repr(Delta(R))

@@ -1,0 +1,211 @@
+"""Hash-join executor: joins, selections, projection, bag counts."""
+
+import pytest
+
+from repro.relational.errors import (
+    AmbiguousAttributeError,
+    QueryError,
+    UnknownAttributeError,
+)
+from repro.relational.executor import execute
+from repro.relational.predicate import (
+    AttrComparison,
+    Comparison,
+    InPredicate,
+    attr,
+    conjunction,
+)
+from repro.relational.query import JoinCondition, RelationRef, SPJQuery
+from repro.relational.schema import RelationSchema
+from repro.relational.table import Table
+from repro.relational.types import AttributeType
+
+R = RelationSchema.of("R", [("k", AttributeType.INT), "a"])
+T = RelationSchema.of("T", [("k", AttributeType.INT), "x"])
+U = RelationSchema.of("U", [("j", AttributeType.INT), "y"])
+
+
+def tables():
+    return {
+        "R": Table(R, [(1, "r1"), (2, "r2"), (2, "r2b")]),
+        "T": Table(T, [(1, "t1"), (2, "t2"), (3, "t3")]),
+    }
+
+
+def join_query(projection=None, selection=None):
+    return SPJQuery(
+        relations=(
+            RelationRef("s1", "R", "R"),
+            RelationRef("s2", "T", "T"),
+        ),
+        projection=projection or (attr("R", "a"), attr("T", "x")),
+        joins=(JoinCondition(attr("R", "k"), attr("T", "k")),),
+        selection=selection or conjunction([]),
+    )
+
+
+class TestJoins:
+    def test_equi_join(self):
+        result = execute(join_query(), tables())
+        assert sorted(result.rows()) == [
+            ("r1", "t1"),
+            ("r2", "t2"),
+            ("r2b", "t2"),
+        ]
+
+    def test_join_multiplicities_multiply(self):
+        bound = tables()
+        bound["R"].insert((1, "r1"))  # now 2 copies
+        bound["T"].insert((1, "t1"))  # now 2 copies
+        result = execute(join_query(), bound)
+        assert result.count(("r1", "t1")) == 4
+
+    def test_cartesian_product_without_joins(self):
+        query = SPJQuery(
+            relations=(
+                RelationRef("s1", "R", "R"),
+                RelationRef("s2", "T", "T"),
+            ),
+            projection=(attr("R", "a"), attr("T", "x")),
+        )
+        result = execute(query, tables())
+        assert len(result) == 3 * 3
+
+    def test_three_way_chain(self):
+        query = SPJQuery(
+            relations=(
+                RelationRef("s1", "R", "R"),
+                RelationRef("s2", "T", "T"),
+                RelationRef("s3", "U", "U"),
+            ),
+            projection=(attr("R", "a"), attr("U", "y")),
+            joins=(
+                JoinCondition(attr("R", "k"), attr("T", "k")),
+                JoinCondition(attr("T", "k"), attr("U", "j")),
+            ),
+        )
+        bound = tables()
+        bound["U"] = Table(U, [(2, "u2")])
+        result = execute(query, bound)
+        assert sorted(result.rows()) == [("r2", "u2"), ("r2b", "u2")]
+
+    def test_cyclic_join_residual(self):
+        # R.k = T.k and additionally R.k = U.j and T.k = U.j (a cycle);
+        # the third condition becomes a residual filter.
+        query = SPJQuery(
+            relations=(
+                RelationRef("s1", "R", "R"),
+                RelationRef("s2", "T", "T"),
+                RelationRef("s3", "U", "U"),
+            ),
+            projection=(attr("R", "a"),),
+            joins=(
+                JoinCondition(attr("R", "k"), attr("T", "k")),
+                JoinCondition(attr("R", "k"), attr("U", "j")),
+                JoinCondition(attr("T", "k"), attr("U", "j")),
+            ),
+        )
+        bound = tables()
+        bound["U"] = Table(U, [(1, "u1"), (9, "u9")])
+        result = execute(query, bound)
+        assert result.rows() == [("r1",)]
+
+
+class TestSelections:
+    def test_single_alias_pushdown(self):
+        result = execute(
+            join_query(selection=Comparison(attr("R", "a"), "=", "r1")),
+            tables(),
+        )
+        assert result.rows() == [("r1", "t1")]
+
+    def test_cross_alias_residual(self):
+        selection = AttrComparison(attr("R", "a"), "!=", attr("T", "x"))
+        result = execute(join_query(selection=selection), tables())
+        assert len(result) == 3  # all pairs differ
+
+    def test_in_predicate(self):
+        selection = InPredicate(attr("R", "k"), frozenset({2}))
+        result = execute(join_query(selection=selection), tables())
+        assert sorted(result.rows()) == [("r2", "t2"), ("r2b", "t2")]
+
+
+class TestProjection:
+    def test_result_schema_names(self):
+        result = execute(join_query(), tables())
+        assert result.schema.attribute_names == ("a", "x")
+
+    def test_collision_qualifies_names(self):
+        query = join_query(projection=(attr("R", "k"), attr("T", "k")))
+        result = execute(query, tables())
+        assert result.schema.attribute_names == ("R_k", "T_k")
+
+    def test_unqualified_projection_resolves(self):
+        query = join_query(projection=(attr("a"), attr("x")))
+        result = execute(query, tables())
+        assert sorted(result.rows()) == [
+            ("r1", "t1"),
+            ("r2", "t2"),
+            ("r2b", "t2"),
+        ]
+
+    def test_ambiguous_unqualified_raises(self):
+        query = join_query(projection=(attr("k"),))
+        with pytest.raises(AmbiguousAttributeError):
+            execute(query, tables())
+
+    def test_unknown_attribute_raises(self):
+        query = join_query(projection=(attr("R", "zz"), attr("T", "x")))
+        with pytest.raises(UnknownAttributeError):
+            execute(query, tables())
+
+    def test_duplicate_rows_preserved(self):
+        query = join_query(projection=(attr("T", "x"), attr("T", "x")))
+        result = execute(query, tables())
+        assert result.count(("t2", "t2")) == 2  # two R rows with k=2
+
+
+class TestErrors:
+    def test_unbound_alias_rejected(self):
+        with pytest.raises(QueryError):
+            execute(join_query(), {"R": tables()["R"]})
+
+    def test_single_relation_scan(self):
+        query = SPJQuery(
+            relations=(RelationRef("s1", "R", "R"),),
+            projection=(attr("R", "a"),),
+            selection=Comparison(attr("R", "k"), ">", 1),
+        )
+        result = execute(query, {"R": tables()["R"]})
+        assert sorted(result.rows()) == [("r2",), ("r2b",)]
+
+
+class TestNegationResidual:
+    def test_negation_as_residual_filter(self):
+        from repro.relational.predicate import AttrComparison, Negation
+
+        bound = tables()
+        query = SPJQuery(
+            relations=(
+                RelationRef("s1", "R", "R"),
+                RelationRef("s2", "T", "T"),
+            ),
+            projection=(attr("R", "a"), attr("T", "x")),
+            joins=(JoinCondition(attr("R", "k"), attr("T", "k")),),
+            selection=Negation(
+                AttrComparison(attr("R", "a"), "=", attr("T", "x"))
+            ),
+        )
+        result = execute(query, bound)
+        assert len(result) == 3  # all joined pairs differ in a vs x
+
+    def test_negation_pushdown_single_alias(self):
+        from repro.relational.predicate import Negation
+
+        query = SPJQuery(
+            relations=(RelationRef("s1", "R", "R"),),
+            projection=(attr("R", "a"),),
+            selection=Negation(Comparison(attr("R", "k"), "=", 1)),
+        )
+        result = execute(query, {"R": tables()["R"]})
+        assert sorted(result.rows()) == [("r2",), ("r2b",)]

@@ -1,0 +1,221 @@
+"""SPJ query AST: validation, introspection, structural rewrites."""
+
+import pytest
+
+from repro.relational.errors import QueryError
+from repro.relational.predicate import Comparison, attr, conjunction
+from repro.relational.query import JoinCondition, RelationRef, SPJQuery
+from repro.relational.schema import RelationSchema
+
+
+def two_way() -> SPJQuery:
+    return SPJQuery(
+        relations=(
+            RelationRef("s1", "R", "R"),
+            RelationRef("s2", "T", "T"),
+        ),
+        projection=(attr("R", "a"), attr("T", "x")),
+        joins=(JoinCondition(attr("R", "k"), attr("T", "k")),),
+        selection=Comparison(attr("R", "a"), ">", 0),
+    )
+
+
+class TestValidation:
+    def test_needs_relations(self):
+        with pytest.raises(QueryError):
+            SPJQuery(relations=(), projection=(attr("R", "a"),))
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(QueryError):
+            SPJQuery(
+                relations=(
+                    RelationRef("s", "R", "X"),
+                    RelationRef("s", "T", "X"),
+                ),
+                projection=(attr("X", "a"),),
+            )
+
+    def test_unknown_alias_in_projection_rejected(self):
+        with pytest.raises(QueryError):
+            SPJQuery(
+                relations=(RelationRef("s", "R", "R"),),
+                projection=(attr("Z", "a"),),
+            )
+
+    def test_join_requires_qualified_refs(self):
+        with pytest.raises(QueryError):
+            JoinCondition(attr("a"), attr("T", "k"))
+
+
+class TestIntrospection:
+    def test_aliases(self):
+        assert two_way().aliases == ("R", "T")
+
+    def test_sources(self):
+        assert two_way().sources() == frozenset({"s1", "s2"})
+
+    def test_relations_of_source(self):
+        refs = two_way().relations_of_source("s2")
+        assert [ref.relation for ref in refs] == ["T"]
+
+    def test_relation_ref_unknown_raises(self):
+        with pytest.raises(QueryError):
+            two_way().relation_ref("Z")
+
+    def test_all_attribute_refs(self):
+        refs = two_way().all_attribute_refs()
+        assert attr("R", "k") in refs
+        assert attr("T", "x") in refs
+        assert attr("R", "a") in refs
+
+    def test_references_relation(self):
+        query = two_way()
+        assert query.references_relation("s1", "R")
+        assert not query.references_relation("s1", "T")
+        assert not query.references_relation("s9", "R")
+
+    def test_references_attribute(self):
+        query = two_way()
+        assert query.references_attribute("s1", "R", "a")
+        assert query.references_attribute("s1", "R", "k")  # via the join
+        assert not query.references_attribute("s1", "R", "zz")
+        assert not query.references_attribute("s2", "R", "a")
+
+    def test_joins_touching(self):
+        assert len(two_way().joins_touching("R")) == 1
+
+    def test_join_condition_helpers(self):
+        join = two_way().joins[0]
+        assert join.touches("R") and join.touches("T")
+        assert join.attr_of("R") == attr("R", "k")
+        assert join.other_side("R") == attr("T", "k")
+        with pytest.raises(QueryError):
+            join.attr_of("Z")
+        with pytest.raises(QueryError):
+            join.other_side("Z")
+
+
+class TestRewrites:
+    def test_with_relation_renamed(self):
+        renamed = two_way().with_relation_renamed("s1", "R", "R2")
+        assert renamed.relation_ref("R").relation == "R2"
+        # alias unchanged: attribute refs survive
+        assert attr("R", "a") in renamed.projection
+
+    def test_with_relation_replaced_keeps_alias(self):
+        replacement = RelationRef("s3", "NewR", "R")
+        replaced = two_way().with_relation_replaced("R", replacement)
+        assert replaced.relation_ref("R").source == "s3"
+
+    def test_with_relation_replaced_alias_mismatch_rejected(self):
+        with pytest.raises(QueryError):
+            two_way().with_relation_replaced(
+                "R", RelationRef("s3", "NewR", "Other")
+            )
+
+    def test_with_attribute_renamed(self):
+        renamed = two_way().with_attribute_renamed("R", "a", "a2")
+        assert attr("R", "a2") in renamed.projection
+        assert renamed.selection == Comparison(attr("R", "a2"), ">", 0)
+
+    def test_without_projection_attribute(self):
+        pruned = two_way().without_projection_attribute(attr("T", "x"))
+        assert pruned.projection == (attr("R", "a"),)
+
+    def test_without_last_projection_attribute_rejected(self):
+        query = SPJQuery(
+            relations=(RelationRef("s", "R", "R"),),
+            projection=(attr("R", "a"),),
+        )
+        with pytest.raises(QueryError):
+            query.without_projection_attribute(attr("R", "a"))
+
+    def test_without_relation(self):
+        pruned = two_way().without_relation("T")
+        assert pruned.aliases == ("R",)
+        assert pruned.joins == ()
+        assert pruned.projection == (attr("R", "a"),)
+        # selection touching only R survives
+        assert pruned.selection == Comparison(attr("R", "a"), ">", 0)
+
+    def test_without_relation_prunes_its_selection(self):
+        query = two_way().with_extra_selection(
+            Comparison(attr("T", "x"), "=", "q")
+        )
+        pruned = query.without_relation("T")
+        assert pruned.selection == Comparison(attr("R", "a"), ">", 0)
+
+    def test_without_only_relation_rejected(self):
+        query = SPJQuery(
+            relations=(RelationRef("s", "R", "R"),),
+            projection=(attr("R", "a"),),
+        )
+        with pytest.raises(QueryError):
+            query.without_relation("R")
+
+    def test_without_relation_emptying_projection_rejected(self):
+        query = SPJQuery(
+            relations=(
+                RelationRef("s1", "R", "R"),
+                RelationRef("s2", "T", "T"),
+            ),
+            projection=(attr("T", "x"),),
+            joins=(JoinCondition(attr("R", "k"), attr("T", "k")),),
+        )
+        with pytest.raises(QueryError):
+            query.without_relation("T")
+
+    def test_with_extra_selection(self):
+        query = two_way().with_extra_selection(
+            Comparison(attr("T", "x"), "=", "q")
+        )
+        assert len(query.selection.children) == 2  # type: ignore[attr-defined]
+
+    def test_substituted(self):
+        substituted = two_way().substituted(
+            {attr("R", "a"): attr("R", "alpha")}
+        )
+        assert attr("R", "alpha") in substituted.projection
+
+
+class TestValidationAgainstSchemas:
+    def test_valid(self):
+        schemas = {
+            "R": RelationSchema.of("R", ["a", "k"]),
+            "T": RelationSchema.of("T", ["x", "k"]),
+        }
+        two_way().validate_against(schemas)  # no raise
+
+    def test_missing_attribute(self):
+        schemas = {
+            "R": RelationSchema.of("R", ["a"]),  # no k
+            "T": RelationSchema.of("T", ["x", "k"]),
+        }
+        with pytest.raises(Exception):
+            two_way().validate_against(schemas)
+
+    def test_missing_alias_binding(self):
+        with pytest.raises(QueryError):
+            two_way().validate_against({})
+
+
+class TestRendering:
+    def test_sql(self):
+        sql = two_way().sql()
+        assert sql == (
+            "SELECT R.a, T.x FROM R, T WHERE R.k = T.k AND R.a > 0"
+        )
+
+    def test_sql_with_alias(self):
+        query = SPJQuery(
+            relations=(RelationRef("s", "Store", "S"),),
+            projection=(attr("S", "a"),),
+        )
+        assert "Store S" in query.sql()
+
+    def test_sql_no_where(self):
+        query = SPJQuery(
+            relations=(RelationRef("s", "R", "R"),),
+            projection=(attr("R", "a"),),
+        )
+        assert "WHERE" not in query.sql()

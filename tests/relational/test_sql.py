@@ -1,0 +1,146 @@
+"""The SQL front-end: parsing and round-tripping SPJ queries."""
+
+import pytest
+
+from repro.relational.errors import QueryError
+from repro.relational.predicate import (
+    AttrComparison,
+    Comparison,
+    InPredicate,
+    attr,
+)
+from repro.relational.sql import parse_query, parse_view
+
+
+class TestParseView:
+    def test_paper_query_1(self):
+        name, query = parse_view(
+            """
+            CREATE VIEW BookInfo AS
+            SELECT S.Store, I.Book, I.Author, I.Price,
+                   C.Publisher, C.Category, C.Review
+            FROM retailer.Store S, retailer.Item I, library.Catalog C
+            WHERE S.SID = I.SID AND I.Book = C.Title
+            """
+        )
+        assert name == "BookInfo"
+        assert query.aliases == ("S", "I", "C")
+        assert query.relation_ref("S").source == "retailer"
+        assert query.relation_ref("C").relation == "Catalog"
+        assert len(query.joins) == 2
+        assert len(query.projection) == 7
+
+    def test_roundtrip_through_ast_sql(self):
+        _name, query = parse_view(
+            "CREATE VIEW V AS SELECT R.a FROM s1.R R WHERE R.a = 'x'"
+        )
+        # the AST renders plain SQL (without source qualifiers)
+        assert query.sql() == "SELECT R.a FROM R WHERE R.a = 'x'"
+
+    def test_missing_as_rejected(self):
+        with pytest.raises(QueryError):
+            parse_view("CREATE VIEW V SELECT R.a FROM s.R")
+
+
+class TestParseQuery:
+    def test_default_alias_is_relation_name(self):
+        query = parse_query("SELECT Item.Book FROM retailer.Item")
+        assert query.aliases == ("Item",)
+
+    def test_string_literal_with_quote(self):
+        query = parse_query(
+            "SELECT I.Book FROM s.Item I WHERE I.Book = 'O''Hara'"
+        )
+        assert query.selection == Comparison(attr("I", "Book"), "=", "O'Hara")
+
+    def test_numeric_literals(self):
+        query = parse_query(
+            "SELECT I.a FROM s.Item I WHERE I.a > 5 AND I.b <= 2.5"
+        )
+        comparisons = list(query.selection.children)  # type: ignore[attr-defined]
+        assert comparisons[0] == Comparison(attr("I", "a"), ">", 5)
+        assert comparisons[1] == Comparison(attr("I", "b"), "<=", 2.5)
+
+    def test_boolean_literal(self):
+        query = parse_query("SELECT I.a FROM s.Item I WHERE I.flag = TRUE")
+        assert query.selection == Comparison(attr("I", "flag"), "=", True)
+
+    def test_in_list(self):
+        query = parse_query(
+            "SELECT I.a FROM s.Item I WHERE I.k IN (1, 2, 3)"
+        )
+        assert query.selection == InPredicate(
+            attr("I", "k"), frozenset({1, 2, 3})
+        )
+
+    def test_equality_between_attrs_is_join(self):
+        query = parse_query(
+            "SELECT R.a FROM s.R R, s.T T WHERE R.k = T.k"
+        )
+        assert len(query.joins) == 1
+        assert query.selection.references() == frozenset()
+
+    def test_inequality_between_attrs_is_predicate(self):
+        query = parse_query(
+            "SELECT R.a FROM s.R R, s.T T WHERE R.k = T.k AND R.a != T.x"
+        )
+        assert query.selection == AttrComparison(
+            attr("R", "a"), "!=", attr("T", "x")
+        )
+
+    def test_not_equals_spelling(self):
+        query = parse_query(
+            "SELECT R.a FROM s.R R WHERE R.a <> 'x'"
+        )
+        assert query.selection == Comparison(attr("R", "a"), "!=", "x")
+
+    def test_unqualified_projection(self):
+        query = parse_query("SELECT Book FROM s.Item I")
+        assert query.projection == (attr("Book"),)
+
+    def test_case_insensitive_keywords(self):
+        query = parse_query("select I.a from s.Item I where I.a = 1")
+        assert query.selection == Comparison(attr("I", "a"), "=", 1)
+
+
+class TestErrors:
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT I.a FROM s.Item I garbage garbage")
+
+    def test_unsourced_relation_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT I.a FROM Item I")
+
+    def test_bad_token_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT I.a FROM s.Item I WHERE I.a = ;")
+
+    def test_truncated_input_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT I.a FROM s.Item I WHERE")
+
+    def test_missing_literal_in_list(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT I.a FROM s.Item I WHERE I.a IN (SELECT)")
+
+
+class TestExecutableParsedQueries:
+    def test_parsed_view_runs_against_sources(self):
+        from repro.relational.executor import execute
+        from repro.relational.schema import RelationSchema
+        from repro.relational.table import Table
+        from repro.relational.types import AttributeType
+
+        query = parse_query(
+            "SELECT R.a, T.x FROM s.R R, s.T T "
+            "WHERE R.k = T.k AND T.x != 'skip'"
+        )
+        r_schema = RelationSchema.of("R", [("k", AttributeType.INT), "a"])
+        t_schema = RelationSchema.of("T", [("k", AttributeType.INT), "x"])
+        tables = {
+            "R": Table(r_schema, [(1, "a1"), (2, "a2")]),
+            "T": Table(t_schema, [(1, "x1"), (2, "skip")]),
+        }
+        result = execute(query, tables)
+        assert result.rows() == [("a1", "x1")]

@@ -1,0 +1,87 @@
+"""Attribute type validation and inference."""
+
+import pytest
+
+from repro.relational.errors import TypeMismatchError
+from repro.relational.types import AttributeType
+
+
+class TestValidate:
+    def test_int_accepts_int(self):
+        assert AttributeType.INT.validate(42) == 42
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.INT.validate(True)
+
+    def test_int_rejects_float(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.INT.validate(1.5)
+
+    def test_int_rejects_string(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.INT.validate("1")
+
+    def test_float_widens_int(self):
+        value = AttributeType.FLOAT.validate(3)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_float_accepts_float(self):
+        assert AttributeType.FLOAT.validate(3.5) == 3.5
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.FLOAT.validate(False)
+
+    def test_string_accepts_str(self):
+        assert AttributeType.STRING.validate("abc") == "abc"
+
+    def test_string_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.STRING.validate(1)
+
+    def test_bool_accepts_bool(self):
+        assert AttributeType.BOOL.validate(True) is True
+
+    def test_bool_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.BOOL.validate(1)
+
+    @pytest.mark.parametrize("attr_type", list(AttributeType))
+    def test_none_is_always_valid(self, attr_type):
+        assert attr_type.validate(None) is None
+
+
+class TestInfer:
+    def test_infer_bool_before_int(self):
+        assert AttributeType.infer(True) is AttributeType.BOOL
+
+    def test_infer_int(self):
+        assert AttributeType.infer(7) is AttributeType.INT
+
+    def test_infer_float(self):
+        assert AttributeType.infer(7.5) is AttributeType.FLOAT
+
+    def test_infer_string(self):
+        assert AttributeType.infer("x") is AttributeType.STRING
+
+    def test_infer_rejects_none(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.infer(None)
+
+    def test_infer_rejects_list(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.infer([1])
+
+
+class TestRendering:
+    def test_sql_names(self):
+        assert AttributeType.INT.sql_name() == "INTEGER"
+        assert AttributeType.FLOAT.sql_name() == "REAL"
+        assert AttributeType.STRING.sql_name() == "VARCHAR"
+        assert AttributeType.BOOL.sql_name() == "BOOLEAN"
+
+    def test_default_is_null(self):
+        for attr_type in AttributeType:
+            assert attr_type.default() is None

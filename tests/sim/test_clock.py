@@ -1,0 +1,47 @@
+"""Virtual clock invariants."""
+
+import pytest
+
+from repro.sim.clock import ClockError, SimClock
+
+
+def test_starts_at_zero():
+    assert SimClock().now == 0.0
+
+
+def test_custom_start():
+    assert SimClock(5.0).now == 5.0
+
+
+def test_advance_to():
+    clock = SimClock()
+    clock.advance_to(3.0)
+    assert clock.now == 3.0
+
+
+def test_advance_to_same_instant_ok():
+    clock = SimClock(1.0)
+    clock.advance_to(1.0)
+    assert clock.now == 1.0
+
+
+def test_advance_backwards_rejected():
+    clock = SimClock(2.0)
+    with pytest.raises(ClockError):
+        clock.advance_to(1.0)
+
+
+def test_advance_by():
+    clock = SimClock()
+    clock.advance_by(1.5)
+    clock.advance_by(0.5)
+    assert clock.now == 2.0
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(ClockError):
+        SimClock().advance_by(-1.0)
+
+
+def test_repr():
+    assert "now=" in repr(SimClock())

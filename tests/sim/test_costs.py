@@ -1,0 +1,82 @@
+"""Cost model arithmetic and calibration targets."""
+
+import pytest
+
+from repro.sim.costs import CostModel
+
+
+class TestDerivedCosts:
+    def test_probe_query(self):
+        cost = CostModel(
+            query_base=1.0,
+            query_per_probe_value=0.1,
+            query_per_result_tuple=0.01,
+        )
+        assert cost.probe_query(10, 5) == pytest.approx(1.0 + 1.0 + 0.05)
+
+    def test_scan_query(self):
+        cost = CostModel(
+            query_base=1.0,
+            query_per_scanned_tuple=0.001,
+            query_per_result_tuple=0.01,
+        )
+        assert cost.scan_query(1000, 10) == pytest.approx(1.0 + 1.0 + 0.1)
+
+    def test_refresh(self):
+        cost = CostModel(refresh_base=0.5, refresh_per_tuple=0.1)
+        assert cost.refresh(10) == pytest.approx(1.5)
+
+    def test_detection_and_correction(self):
+        cost = CostModel(
+            detection_per_node=0.1,
+            detection_per_edge=0.2,
+            correction_per_element=0.3,
+        )
+        assert cost.detection(2, 3) == pytest.approx(0.8)
+        assert cost.correction(2, 3) == pytest.approx(1.5)
+
+
+class TestFactories:
+    def test_free_model_is_all_zero(self):
+        cost = CostModel.free()
+        assert cost.probe_query(100, 100) == 0.0
+        assert cost.scan_query(100, 100) == 0.0
+        assert cost.refresh(100) == 0.0
+        assert cost.vs_rewrite == 0.0
+
+    def test_calibrated_du_regime(self):
+        """One DU maintenance over the 6-way view ≈ 0.2 virtual s."""
+        cost = CostModel.calibrated(2000)
+        du_cost = 5 * cost.probe_query(1, 1) + cost.refresh(1)
+        assert 0.15 < du_cost < 0.35
+
+    def test_calibrated_sc_regime(self):
+        """One SC maintenance ≈ 20-30 virtual s, dominated by scans."""
+        n = 2000
+        cost = CostModel.calibrated(n)
+        sc_cost = (
+            cost.vs_rewrite
+            + 6 * cost.scan_query(n, n)
+            + cost.va_base
+            + cost.va_per_tuple * n
+        )
+        assert 18 < sc_cost < 32
+
+    def test_calibration_scale_invariant(self):
+        """Virtual times should not depend on the testbed scale."""
+        for n in (100, 1000, 10_000):
+            cost = CostModel.calibrated(n)
+            sc_cost = cost.vs_rewrite + 6 * cost.scan_query(n, n)
+            assert sc_cost == pytest.approx(
+                CostModel.calibrated(100).vs_rewrite
+                + 6 * CostModel.calibrated(100).scan_query(100, 100),
+                rel=0.01,
+            )
+
+    def test_sc_dwarfs_du(self):
+        """The asymmetry Figures 9-12 rest on."""
+        n = 2000
+        cost = CostModel.calibrated(n)
+        du = 5 * cost.probe_query(1, 1)
+        sc = cost.vs_rewrite + 6 * cost.scan_query(n, n)
+        assert sc > 50 * du

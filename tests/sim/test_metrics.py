@@ -1,0 +1,43 @@
+"""Metrics accumulation."""
+
+from repro.sim.metrics import Metrics
+
+
+def test_charge_accumulates_by_kind():
+    metrics = Metrics()
+    metrics.charge("query", 1.0)
+    metrics.charge("query", 0.5)
+    metrics.charge("vs_rewrite", 2.0)
+    assert metrics.busy_time["query"] == 1.5
+    assert metrics.total_busy_time == 3.5
+    assert metrics.maintenance_cost == 3.5
+
+
+def test_summary_keys():
+    metrics = Metrics()
+    metrics.charge("query", 1.0)
+    metrics.abort_cost = 0.25
+    metrics.aborts = 1
+    summary = metrics.summary()
+    assert summary["maintenance_cost"] == 1.0
+    assert summary["abort_cost"] == 0.25
+    assert summary["aborts"] == 1
+    assert "view_refreshes" in summary
+    assert "cycle_merges" in summary
+
+
+def test_fresh_metrics_zero():
+    metrics = Metrics()
+    assert metrics.maintenance_cost == 0.0
+    assert metrics.aborts == 0
+    assert metrics.broken_queries == 0
+
+
+def test_busy_breakdown_rounded_and_sorted():
+    metrics = Metrics()
+    metrics.charge("vs_rewrite", 2.00004)
+    metrics.charge("maintenance_query", 1.5)
+    breakdown = metrics.busy_breakdown()
+    assert list(breakdown) == ["maintenance_query", "vs_rewrite"]
+    assert breakdown["vs_rewrite"] == 2.0
+    assert metrics.summary()["busy_breakdown"] == breakdown

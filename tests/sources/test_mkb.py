@@ -1,0 +1,70 @@
+"""Meta-knowledge base lookups."""
+
+from repro.sources.mkb import (
+    AttributeReplacement,
+    MetaKnowledgeBase,
+    RelationReplacement,
+)
+
+
+def make_mkb() -> MetaKnowledgeBase:
+    mkb = MetaKnowledgeBase()
+    mkb.add_relation_replacement(
+        RelationReplacement(
+            source="retailer",
+            covers=("Store", "Item"),
+            new_source="retailer",
+            new_relation="StoreItems",
+            attr_map={("Item", "Book"): "Book"},
+        )
+    )
+    mkb.add_attribute_replacement(
+        AttributeReplacement(
+            source="library",
+            relation="Catalog",
+            attribute="Review",
+            new_source="digest",
+            new_relation="ReaderDigest",
+            new_attribute="Comments",
+            join_on=("Catalog", "Title"),
+            join_attribute="Article",
+        )
+    )
+    return mkb
+
+
+class TestRelationReplacement:
+    def test_lookup_by_any_covered_relation(self):
+        mkb = make_mkb()
+        rule_store = mkb.relation_replacement("retailer", "Store")
+        rule_item = mkb.relation_replacement("retailer", "Item")
+        assert rule_store is rule_item
+        assert rule_store.new_relation == "StoreItems"
+
+    def test_lookup_miss(self):
+        mkb = make_mkb()
+        assert mkb.relation_replacement("retailer", "Other") is None
+        assert mkb.relation_replacement("library", "Store") is None
+
+    def test_maps_attribute(self):
+        rule = make_mkb().relation_replacement("retailer", "Item")
+        assert rule.maps_attribute("Item", "Book") == "Book"
+        assert rule.maps_attribute("Item", "Unknown") is None
+
+
+class TestAttributeReplacement:
+    def test_lookup(self):
+        mkb = make_mkb()
+        rule = mkb.attribute_replacement("library", "Catalog", "Review")
+        assert rule is not None
+        assert rule.new_attribute == "Comments"
+        assert rule.join_on == ("Catalog", "Title")
+
+    def test_lookup_miss(self):
+        mkb = make_mkb()
+        assert (
+            mkb.attribute_replacement("library", "Catalog", "Title") is None
+        )
+
+    def test_len_counts_both_kinds(self):
+        assert len(make_mkb()) == 2

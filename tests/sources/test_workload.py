@@ -1,0 +1,198 @@
+"""Workload intents: materialization against live schemas, determinism."""
+
+import random
+
+import pytest
+
+from repro.relational.schema import RelationSchema
+from repro.relational.types import AttributeType
+from repro.sources.messages import (
+    DataUpdate,
+    DropAttribute,
+    RenameAttribute,
+    RenameRelation,
+)
+from repro.sources.source import DataSource
+from repro.sources.workload import (
+    DeleteRandomRow,
+    DropRandomAttribute,
+    FixedUpdate,
+    InsertRandomRow,
+    RenameRandomAttribute,
+    RenameRandomRelation,
+    Workload,
+    WorkloadItem,
+    random_row,
+    random_value,
+)
+
+R = RelationSchema.of(
+    "R",
+    [
+        ("k", AttributeType.INT),
+        ("s", AttributeType.STRING),
+        ("f", AttributeType.FLOAT),
+        ("b", AttributeType.BOOL),
+    ],
+)
+
+
+@pytest.fixture
+def source() -> DataSource:
+    source = DataSource("s")
+    source.create_relation(R, [(1, "a", 1.0, True), (2, "b", 2.0, False)])
+    return source
+
+
+class TestValueGeneration:
+    def test_random_value_types(self):
+        rng = random.Random(1)
+        assert isinstance(random_value(rng, AttributeType.INT), int)
+        assert isinstance(random_value(rng, AttributeType.FLOAT), float)
+        assert isinstance(random_value(rng, AttributeType.STRING), str)
+        assert isinstance(random_value(rng, AttributeType.BOOL), bool)
+
+    def test_random_row_matches_schema(self):
+        row = random_row(random.Random(1), R)
+        assert len(row) == 4
+        R.attributes[0].type.validate(row[0])
+
+    def test_determinism(self):
+        assert random_row(random.Random(5), R) == random_row(
+            random.Random(5), R
+        )
+
+
+class TestInsertIntent:
+    def test_insert_valid_row(self, source):
+        update = InsertRandomRow(random.Random(1)).materialize(source)
+        assert isinstance(update, DataUpdate)
+        source.commit(update)  # applies cleanly
+
+    def test_key_factory_controls_first_column(self, source):
+        intent = InsertRandomRow(random.Random(1), key_factory=lambda r: 42)
+        update = intent.materialize(source)
+        row = next(iter(update.delta.rows()))
+        assert row[0] == 42
+
+    def test_specific_relation(self, source):
+        update = InsertRandomRow(
+            random.Random(1), relation="R"
+        ).materialize(source)
+        assert update.relation == "R"
+
+    def test_empty_source_returns_none(self):
+        assert InsertRandomRow(random.Random(1)).materialize(
+            DataSource("empty")
+        ) is None
+
+    def test_stale_relation_falls_back(self, source):
+        update = InsertRandomRow(
+            random.Random(1), relation="Gone"
+        ).materialize(source)
+        assert update.relation == "R"
+
+
+class TestDeleteIntent:
+    def test_deletes_existing_row(self, source):
+        update = DeleteRandomRow(random.Random(2)).materialize(source)
+        assert isinstance(update, DataUpdate)
+        source.commit(update)
+        assert source.total_rows() == 1
+
+    def test_empty_table_returns_none(self):
+        empty = DataSource("e")
+        empty.create_relation(R)
+        assert DeleteRandomRow(random.Random(1)).materialize(empty) is None
+
+
+class TestSchemaChangeIntents:
+    def test_drop_random_attribute_protects_key(self, source):
+        for seed in range(10):
+            update = DropRandomAttribute(random.Random(seed)).materialize(
+                source
+            )
+            assert isinstance(update, DropAttribute)
+            assert update.attribute != "k"
+
+    def test_drop_without_protection_may_take_first(self, source):
+        seen = set()
+        for seed in range(30):
+            update = DropRandomAttribute(
+                random.Random(seed), protect_first=False
+            ).materialize(source)
+            seen.add(update.attribute)
+        assert "k" in seen
+
+    def test_rename_relation_versions(self, source):
+        update = RenameRandomRelation(random.Random(1)).materialize(source)
+        assert isinstance(update, RenameRelation)
+        assert update.new == "R__v2"
+        source.commit(update)
+        update2 = RenameRandomRelation(random.Random(1)).materialize(source)
+        assert update2.old == "R__v2" and update2.new == "R__v3"
+
+    def test_rename_attribute_versions(self, source):
+        update = RenameRandomAttribute(random.Random(3)).materialize(source)
+        assert isinstance(update, RenameAttribute)
+        assert update.new.endswith("__v2")
+
+    def test_fixed_update_passthrough(self, source):
+        payload = DropAttribute("R", "s")
+        assert FixedUpdate(payload).materialize(source) is payload
+
+
+class TestWorkload:
+    def test_sorted_by_time(self):
+        workload = Workload()
+        workload.add(2.0, "s", FixedUpdate(DropAttribute("R", "s")))
+        workload.add(1.0, "s", FixedUpdate(DropAttribute("R", "f")))
+        assert [item.at for item in workload] == [1.0, 2.0]
+
+    def test_span(self):
+        workload = Workload()
+        assert workload.span == 0.0
+        workload.add(1.0, "s", FixedUpdate(DropAttribute("R", "s")))
+        workload.add(5.0, "s", FixedUpdate(DropAttribute("R", "f")))
+        assert workload.span == 4.0
+
+    def test_extend_and_len(self):
+        workload = Workload()
+        workload.extend(
+            [WorkloadItem(0.0, "s", FixedUpdate(DropAttribute("R", "s")))]
+        )
+        assert len(workload) == 1
+
+
+class TestPoissonArrivals:
+    def test_count_and_monotonicity(self):
+        from repro.sources.workload import poisson_arrival_times
+
+        times = poisson_arrival_times(random.Random(1), rate=2.0, count=50)
+        assert len(times) == 50
+        assert all(b > a for a, b in zip(times, times[1:]))
+        assert times[0] > 0.0
+
+    def test_mean_interarrival_close_to_rate(self):
+        from repro.sources.workload import poisson_arrival_times
+
+        rate = 4.0
+        times = poisson_arrival_times(
+            random.Random(2), rate=rate, count=2000
+        )
+        mean_gap = times[-1] / len(times)
+        assert abs(mean_gap - 1.0 / rate) < 0.02
+
+    def test_start_offset(self):
+        from repro.sources.workload import poisson_arrival_times
+
+        times = poisson_arrival_times(
+            random.Random(3), rate=1.0, count=5, start=100.0
+        )
+        assert all(at > 100.0 for at in times)
+
+    def test_invalid_rate_rejected(self):
+        from repro.sources.workload import poisson_arrival_times
+
+        with pytest.raises(ValueError):
+            poisson_arrival_times(random.Random(1), rate=0.0, count=1)

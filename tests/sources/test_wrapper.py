@@ -1,0 +1,36 @@
+"""Wrappers forward committed updates to their sink."""
+
+from repro.relational.schema import RelationSchema
+from repro.sources.messages import DataUpdate
+from repro.sources.source import DataSource
+from repro.sources.wrapper import Wrapper
+
+R = RelationSchema.of("R", ["a"])
+
+
+def test_forwarding():
+    source = DataSource("s")
+    source.create_relation(R)
+    received = []
+    wrapper = Wrapper(source, received.append)
+    source.commit(DataUpdate.insert(R, [("x",)]), at=2.0)
+    assert len(received) == 1
+    assert received[0].source == "s"
+    assert received[0].committed_at == 2.0
+    assert wrapper.forwarded == 1
+
+
+def test_multiple_wrappers_all_receive():
+    source = DataSource("s")
+    source.create_relation(R)
+    first, second = [], []
+    Wrapper(source, first.append)
+    Wrapper(source, second.append)
+    source.commit(DataUpdate.insert(R, [("x",)]))
+    assert len(first) == len(second) == 1
+
+
+def test_repr_mentions_source():
+    source = DataSource("s")
+    wrapper = Wrapper(source, lambda message: None)
+    assert "s" in repr(wrapper)

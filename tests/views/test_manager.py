@@ -1,0 +1,152 @@
+"""The view manager: initial load, oracle, maintenance dispatch."""
+
+import pytest
+
+from repro.sim.costs import CostModel
+from repro.sources.messages import (
+    DataUpdate,
+    DropAttribute,
+    RenameRelation,
+)
+from repro.views.umq import MaintenanceUnit
+from tests.conftest import CATALOG_SCHEMA, ITEM_SCHEMA, build_bookstore
+
+
+class TestInitialLoad:
+    def test_initial_extent_matches_recompute(self):
+        engine, manager = build_bookstore(CostModel.free())
+        assert manager.mv.extent == manager.recompute_reference()
+        assert len(manager.mv.extent) == 2
+        assert manager.mv.refresh_count == 0
+
+    def test_wrappers_feed_umq(self):
+        engine, manager = build_bookstore(CostModel.free())
+        engine.source("retailer").commit(
+            DataUpdate.insert(ITEM_SCHEMA, [(9, "X", "Y", 1.0)]), at=0.0
+        )
+        assert len(manager.umq) == 1
+
+    def test_schema_lookup(self):
+        engine, manager = build_bookstore(CostModel.free())
+        schema = manager._schema_lookup("retailer", "Item")
+        assert schema is not None and "Book" in schema
+        assert manager._schema_lookup("retailer", "Nope") is None
+        assert manager._schema_lookup("ghost", "Item") is None
+
+
+class TestDataUnitMaintenance:
+    def test_du_unit_refreshes_view(self):
+        engine, manager = build_bookstore(CostModel.free())
+        engine.source("retailer").commit(
+            DataUpdate.insert(
+                ITEM_SCHEMA, [(1, "Databases", "Again", 9.0)]
+            ),
+            at=0.0,
+        )
+        unit = manager.umq.head()
+        engine.run_process(manager.build_maintenance(unit))
+        assert manager.mv.extent == manager.recompute_reference()
+        assert engine.metrics.view_refreshes == 1
+        assert engine.metrics.maintained_updates == 1
+
+    def test_irrelevant_du_no_refresh(self):
+        engine, manager = build_bookstore(CostModel.free())
+        reader = engine.source("digest").schema_of("ReaderDigest")
+        engine.source("digest").commit(
+            DataUpdate.insert(reader, [("A", "B")]), at=0.0
+        )
+        unit = manager.umq.head()
+        engine.run_process(manager.build_maintenance(unit))
+        assert engine.metrics.view_refreshes == 0
+        assert engine.metrics.maintained_updates == 1
+
+
+class TestSchemaUnitMaintenance:
+    def test_sc_unit_installs_definition_and_extent(self):
+        engine, manager = build_bookstore(CostModel.free())
+        engine.source("library").commit(
+            DropAttribute("Catalog", "Review"), at=0.0
+        )
+        unit = manager.umq.head()
+        engine.run_process(manager.build_maintenance(unit))
+        assert manager.view.version == 2
+        assert manager.mv.definition_version == 2
+        assert manager.mv.extent == manager.recompute_reference()
+
+    def test_view_untouched_on_abort(self):
+        engine, manager = build_bookstore(CostModel(query_base=1.0))
+        engine.source("library").commit(
+            DropAttribute("Catalog", "Review"), at=0.0
+        )
+        # break the adaptation mid-flight
+        engine.schedule(
+            3.5,
+            lambda: engine.source("retailer").commit(
+                RenameRelation("Item", "Item2"), at=3.5
+            ),
+        )
+        unit = manager.umq.head()
+        from repro.sources.errors import BrokenQueryError
+
+        before_rows = len(manager.mv.extent)
+        with pytest.raises(BrokenQueryError):
+            engine.run_process(manager.build_maintenance(unit))
+        assert manager.view.version == 1  # w(VD) stayed in-memory
+        assert len(manager.mv.extent) == before_rows
+
+    def test_non_conflicting_sc_is_cheap_noop(self):
+        engine, manager = build_bookstore(CostModel.free())
+        engine.source("library").commit(
+            DropAttribute("Catalog", "Author"), at=0.0
+        )
+        unit = manager.umq.head()
+        engine.run_process(manager.build_maintenance(unit))
+        assert manager.view.version == 1
+        assert engine.metrics.maintained_updates == 1
+
+    def test_batch_with_noop_sc_still_maintains_dus(self):
+        engine, manager = build_bookstore(CostModel.free())
+        source = engine.source("retailer")
+        source.commit(
+            DataUpdate.insert(ITEM_SCHEMA, [(1, "Databases", "Z", 3.0)]),
+            at=0.0,
+        )
+        engine.source("library").commit(
+            DropAttribute("Catalog", "Author"), at=0.0
+        )
+        messages = manager.umq.messages()
+        manager.umq.replace_order([MaintenanceUnit(list(messages))])
+        unit = manager.umq.head()
+        engine.run_process(manager.build_maintenance(unit))
+        assert manager.mv.extent == manager.recompute_reference()
+        assert engine.metrics.maintained_updates == 2
+
+    def test_batch_du_and_sc(self):
+        engine, manager = build_bookstore(CostModel.free())
+        engine.source("retailer").commit(
+            DataUpdate.insert(ITEM_SCHEMA, [(1, "Databases", "Z", 3.0)]),
+            at=0.0,
+        )
+        engine.source("library").commit(
+            DropAttribute("Catalog", "Review"), at=0.0
+        )
+        messages = manager.umq.messages()
+        manager.umq.replace_order([MaintenanceUnit(list(messages))])
+        engine.run_process(manager.build_maintenance(manager.umq.head()))
+        assert manager.view.version == 2
+        assert manager.mv.extent == manager.recompute_reference()
+
+
+class TestConnect:
+    def test_late_source_joins(self):
+        from repro.relational.schema import RelationSchema
+        from repro.sources.source import DataSource
+
+        engine, manager = build_bookstore(CostModel.free())
+        newcomer = DataSource("late")
+        newcomer.create_relation(RelationSchema.of("Extra", ["a"]))
+        manager.connect(newcomer)
+        newcomer.commit(
+            DataUpdate.insert(newcomer.schema_of("Extra"), [("v",)]), at=0.0
+        )
+        assert len(manager.umq) == 1

@@ -1,0 +1,40 @@
+"""Materialized view extent bookkeeping."""
+
+from repro.relational.delta import Delta
+from repro.relational.schema import RelationSchema
+from repro.relational.table import Table
+from repro.views.materialized import MaterializedView
+
+SCHEMA = RelationSchema.of("V", ["a", "b"])
+
+
+def test_apply_delta_refreshes():
+    mv = MaterializedView("V", SCHEMA)
+    delta = Delta(SCHEMA)
+    delta.add(("1", "2"), 1)
+    mv.apply(delta)
+    assert ("1", "2") in mv.extent
+    assert mv.refresh_count == 1
+    assert len(mv) == 1
+
+
+def test_replace_extent_tracks_definition_version():
+    mv = MaterializedView("V", SCHEMA)
+    replacement = Table(RelationSchema.of("result", ["a"]), [("x",)])
+    mv.replace_extent(replacement, definition_version=3)
+    assert mv.definition_version == 3
+    assert mv.schema.name == "V"  # renamed to the view's name
+    assert ("x",) in mv.extent
+
+
+def test_replace_extent_copies():
+    mv = MaterializedView("V", SCHEMA)
+    replacement = Table(RelationSchema.of("result", ["a"]), [("x",)])
+    mv.replace_extent(replacement, 2)
+    replacement.insert(("y",))
+    assert ("y",) not in mv.extent
+
+
+def test_repr():
+    mv = MaterializedView("V", SCHEMA)
+    assert "V" in repr(mv)

@@ -1,0 +1,139 @@
+"""UMQ: queueing, the schema-change flag, reorder validation."""
+
+import pytest
+
+from repro.relational.schema import RelationSchema
+from repro.sources.messages import DataUpdate, DropAttribute, UpdateMessage
+from repro.views.umq import MaintenanceUnit, UMQError, UpdateMessageQueue
+
+R = RelationSchema.of("R", ["a"])
+
+
+def du(seqno: int) -> UpdateMessage:
+    return UpdateMessage("s", seqno, float(seqno), DataUpdate.insert(R, []))
+
+
+def sc(seqno: int) -> UpdateMessage:
+    return UpdateMessage("s", seqno, float(seqno), DropAttribute("R", "a"))
+
+
+class TestFlag:
+    def test_du_does_not_raise_flag(self):
+        umq = UpdateMessageQueue()
+        umq.receive(du(1))
+        assert not umq.new_schema_change_flag
+
+    def test_sc_raises_flag(self):
+        umq = UpdateMessageQueue()
+        umq.receive(sc(1))
+        assert umq.new_schema_change_flag
+
+    def test_test_and_clear_is_atomic_read(self):
+        umq = UpdateMessageQueue()
+        umq.receive(sc(1))
+        assert umq.test_and_clear_schema_change_flag()
+        assert not umq.test_and_clear_schema_change_flag()
+
+
+class TestQueueOps:
+    def test_fifo(self):
+        umq = UpdateMessageQueue()
+        first, second = du(1), du(2)
+        umq.receive(first)
+        umq.receive(second)
+        assert umq.head().head_message is first
+        assert umq.remove_head().head_message is first
+        assert umq.head().head_message is second
+
+    def test_empty_errors(self):
+        umq = UpdateMessageQueue()
+        assert umq.is_empty()
+        with pytest.raises(UMQError):
+            umq.head()
+        with pytest.raises(UMQError):
+            umq.remove_head()
+
+    def test_messages_flattens_units(self):
+        umq = UpdateMessageQueue()
+        a, b, c = du(1), du(2), sc(3)
+        for message in (a, b, c):
+            umq.receive(message)
+        umq.replace_order([MaintenanceUnit([a, c]), MaintenanceUnit([b])])
+        assert umq.messages() == [a, c, b]
+        assert len(umq) == 2
+
+    def test_position_of(self):
+        umq = UpdateMessageQueue()
+        a, b = du(1), du(2)
+        umq.receive(a)
+        umq.receive(b)
+        assert umq.position_of(b) == 1
+        with pytest.raises(UMQError):
+            umq.position_of(du(9))
+
+    def test_messages_behind(self):
+        umq = UpdateMessageQueue()
+        a, b, c = du(1), du(2), du(3)
+        for message in (a, b, c):
+            umq.receive(message)
+        head = umq.head()
+        assert umq.messages_behind(head) == [b, c]
+
+    def test_messages_behind_unknown_unit(self):
+        umq = UpdateMessageQueue()
+        umq.receive(du(1))
+        with pytest.raises(UMQError):
+            umq.messages_behind(MaintenanceUnit([du(9)]))
+
+
+class TestReorder:
+    def test_replace_order_preserving(self):
+        umq = UpdateMessageQueue()
+        a, b = du(1), sc(2)
+        umq.receive(a)
+        umq.receive(b)
+        umq.replace_order([MaintenanceUnit([b]), MaintenanceUnit([a])])
+        assert umq.head().head_message is b
+
+    def test_replace_order_losing_message_rejected(self):
+        umq = UpdateMessageQueue()
+        a, b = du(1), du(2)
+        umq.receive(a)
+        umq.receive(b)
+        with pytest.raises(UMQError):
+            umq.replace_order([MaintenanceUnit([a])])
+
+    def test_replace_order_inventing_message_rejected(self):
+        umq = UpdateMessageQueue()
+        a = du(1)
+        umq.receive(a)
+        with pytest.raises(UMQError):
+            umq.replace_order(
+                [MaintenanceUnit([a]), MaintenanceUnit([du(9)])]
+            )
+
+
+class TestMaintenanceUnit:
+    def test_single(self):
+        unit = MaintenanceUnit.single(du(1))
+        assert not unit.is_batch
+        assert not unit.has_schema_change
+        assert len(unit) == 1
+
+    def test_merged(self):
+        unit = MaintenanceUnit.merged(
+            [MaintenanceUnit([du(1)]), MaintenanceUnit([sc(2)])]
+        )
+        assert unit.is_batch
+        assert unit.has_schema_change
+        assert [m.seqno for m in unit] == [1, 2]
+
+    def test_describe_batch(self):
+        unit = MaintenanceUnit([du(1), sc(2)])
+        assert unit.describe().startswith("BATCH[")
+
+    def test_received_counter(self):
+        umq = UpdateMessageQueue()
+        umq.receive(du(1))
+        umq.receive(sc(2))
+        assert umq.received_messages == 2
