@@ -51,6 +51,15 @@ from .relational import (
     parse_query,
     parse_view,
 )
+from .faults import (
+    CrashWindow,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    LinkFault,
+    RetryPolicy,
+    TransientFault,
+)
 from .sim import CostModel, SimEngine
 from .sources import (
     AddAttribute,
@@ -62,11 +71,14 @@ from .sources import (
     DropAttribute,
     DropRelation,
     MetaKnowledgeBase,
+    QueryTimeoutError,
     RelationReplacement,
     RenameAttribute,
     RenameRelation,
     RestructureRelations,
+    SourceUnavailableError,
     SqliteDataSource,
+    TransientSourceError,
     UpdateMessage,
     Workload,
     WorkloadItem,
@@ -99,6 +111,7 @@ __all__ = [
     "Comparison",
     "ConsistencyReport",
     "CostModel",
+    "CrashWindow",
     "CreateRelation",
     "DataSource",
     "DataUpdate",
@@ -111,8 +124,12 @@ __all__ = [
     "DyDaError",
     "DyDaSystem",
     "DynoScheduler",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
     "InPredicate",
     "JoinCondition",
+    "LinkFault",
     "MaintenanceUnit",
     "MaterializedView",
     "MetaKnowledgeBase",
@@ -120,18 +137,23 @@ __all__ = [
     "NAIVE",
     "OPTIMISTIC",
     "PESSIMISTIC",
+    "QueryTimeoutError",
     "RelationRef",
     "RelationReplacement",
     "RelationSchema",
     "RenameAttribute",
     "RenameRelation",
     "RestructureRelations",
+    "RetryPolicy",
     "SPJQuery",
     "SimEngine",
+    "SourceUnavailableError",
     "SqliteDataSource",
     "Strategy",
     "StrongConsistencyViolation",
     "Table",
+    "TransientFault",
+    "TransientSourceError",
     "UpdateMessage",
     "UpdateMessageQueue",
     "ViewDefinition",

@@ -240,6 +240,11 @@ def footprint_of_update(
             if ref.source == message.source
             and resolver.relation(ref.source, ref.relation) == updated_root
         )
+        if not own_aliases:
+            # This view does not reference the updated relation, so the
+            # update's maintenance is a no-op for it: no probes, no
+            # footprint contribution.
+            continue
         if len(own_aliases) != 1:
             own_aliases = frozenset()  # self-join: everything is probed
         footprints.append(

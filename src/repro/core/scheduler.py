@@ -26,13 +26,23 @@ from dataclasses import dataclass, field
 from ..sim import trace as trace_kinds
 from ..sim.effects import Delay
 from ..sim.engine import SimEngine
-from ..sources.errors import BrokenQueryError
+from ..sources.errors import (
+    BrokenQueryError,
+    SourceError,
+    SourceUnavailableError,
+    TransientSourceError,
+)
 from ..sources.messages import UpdateMessage
 from ..views.manager import ViewManager
 from ..views.umq import MaintenanceUnit
 from .anomalies import AnomalyType
 from .correction import CorrectionResult, correct, merge_all
+from .dependencies import NameResolver, find_dependencies, footprint_of_update
 from .strategies import PESSIMISTIC, BrokenQueryPolicy, Strategy
+
+#: fallback quarantine length when neither the failure nor the retry
+#: policy carries a recovery hint
+DEFAULT_QUARANTINE_PROBE = 2.0
 
 
 @dataclass
@@ -44,6 +54,28 @@ class SchedulerStats:
     forced_merges: int = 0
     skipped_updates: int = 0
     abort_events: list[tuple[float, str]] = field(default_factory=list)
+    # -- fault handling (mirrors of engine metrics + scheduler-only) ---
+    #: maintenance-query retries performed by the engine
+    retries: int = 0
+    #: virtual time spent in retry backoff sleeps
+    backoff_time: float = 0.0
+    #: transient failures observed at the query path
+    transient_failures: int = 0
+    #: transient failures that reached the abort handler and were
+    #: classified as outages instead of broken-query flags — each one a
+    #: spurious abort/reorder avoided
+    false_flags_avoided: int = 0
+    #: broken-query flags confirmed genuine by classification
+    genuine_broken_flags: int = 0
+    #: (virtual time, source, until) quarantine entries
+    quarantine_events: list[tuple[float, str, float]] = field(
+        default_factory=list
+    )
+    #: quarantined sources brought back into service
+    resumed_sources: int = 0
+    #: maintenance units demoted behind the active queue because they
+    #: depend on a quarantined source (cumulative over deferral rounds)
+    deferred_units: int = 0
 
 
 class DynoScheduler:
@@ -73,6 +105,8 @@ class DynoScheduler:
         self._next_deferred_refresh = (
             defer_du_interval if defer_du_interval is not None else 0.0
         )
+        #: quarantined sources: name -> virtual time to probe again
+        self._quarantined: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # helpers
@@ -134,12 +168,15 @@ class DynoScheduler:
         result = merge_all(
             self.umq.messages(), self.manager.maintenance_queries
         )
+        # Install before charging: commits firing inside the charge
+        # window must append behind the merged order, not invalidate it
+        # (same ordering as detect_and_correct).
+        self.umq.replace_order(result.units)
         cost = self.manager.cost
         self._charge(
             cost.correction(result.node_count, result.edge_count),
             "detection",
         )
-        self.umq.replace_order(result.units)
         self.manager.metrics.cycle_merges += result.merges
 
     def _force_progress(self, broken_source: str) -> None:
@@ -176,6 +213,156 @@ class DynoScheduler:
         self.stats.forced_merges += 1
 
     # ------------------------------------------------------------------
+    # fault handling: classification, quarantine, deferral
+    # ------------------------------------------------------------------
+
+    def _classify_transient(self, error: SourceError) -> bool:
+        """True iff ``error`` is an outage rather than a broken query.
+
+        Outages quarantine their source; each classification is one
+        avoided false broken-query flag.
+        """
+        if not isinstance(
+            error, (TransientSourceError, SourceUnavailableError)
+        ):
+            return False
+        self.stats.false_flags_avoided += 1
+        self._quarantine(error.source, error.retry_at)
+        return True
+
+    def _quarantine(self, source: str, retry_at: float | None) -> None:
+        """Bench ``source`` until ``retry_at`` (or a probe interval)."""
+        now = self.engine.clock.now
+        if retry_at is not None and retry_at > now:
+            until = retry_at
+        else:
+            policy = self.engine.retry_policy
+            probe = (
+                policy.quarantine_probe
+                if policy is not None
+                else DEFAULT_QUARANTINE_PROBE
+            )
+            until = now + probe
+        # Re-quarantining only ever extends the rest period.
+        self._quarantined[source] = max(
+            until, self._quarantined.get(source, until)
+        )
+        self.stats.quarantine_events.append((now, source, until))
+        self.engine.tracer.record(
+            now, trace_kinds.QUARANTINE, f"{source} until {until:.3f}"
+        )
+
+    def _lift_due_quarantines(self) -> None:
+        now = self.engine.clock.now
+        for source, until in list(self._quarantined.items()):
+            if now >= until:
+                del self._quarantined[source]
+                self.stats.resumed_sources += 1
+                self.engine.tracer.record(
+                    now, trace_kinds.RESUME, source
+                )
+
+    def _deferred_unit_indices(self) -> tuple[set[int], int, int]:
+        """Units that must wait for a quarantined source to recover.
+
+        Reuses the Definition 3/4 machinery: a unit is *directly*
+        deferred when any of its messages' maintenance footprints reads
+        a quarantined source; deferral then propagates along dependency
+        edges (``before`` deferred => ``after`` deferred) so demoting
+        active units past deferred ones can never violate a CD or SD.
+        Returns (deferred unit indices, node count, edge count) for cost
+        accounting.
+        """
+        units = list(self.umq.units)
+        messages: list[UpdateMessage] = []
+        unit_of: list[int] = []
+        for unit_index, unit in enumerate(units):
+            for message in unit:
+                messages.append(message)
+                unit_of.append(unit_index)
+        resolver = NameResolver(messages)
+        deferred: set[int] = set()
+        for index, message in enumerate(messages):
+            footprint = footprint_of_update(
+                message,
+                self.manager.maintenance_queries,
+                self._speculative_rewrite,
+                resolver,
+            )
+            if any(
+                source in self._quarantined
+                for source, _relation in footprint.relations
+            ):
+                deferred.add(unit_of[index])
+        dependencies = find_dependencies(
+            messages,
+            self.manager.maintenance_queries,
+            rewritten_query=self._speculative_rewrite,
+        )
+        changed = True
+        while changed:
+            changed = False
+            for dependency in dependencies:
+                before = unit_of[dependency.before_index]
+                after = unit_of[dependency.after_index]
+                if before in deferred and after not in deferred:
+                    deferred.add(after)
+                    changed = True
+        return deferred, len(messages), len(dependencies)
+
+    def _make_runnable_head(self) -> bool:
+        """Move quarantine-independent units ahead of deferred ones.
+
+        Returns False when *every* queued unit depends on a quarantined
+        source — nothing is runnable until recovery.
+        """
+        deferred, nodes, edges = self._deferred_unit_indices()
+        if not deferred:
+            return True
+        units = list(self.umq.units)
+        if len(deferred) == len(units):
+            return False
+        active = [
+            unit
+            for index, unit in enumerate(units)
+            if index not in deferred
+        ]
+        held = [
+            unit for index, unit in enumerate(units) if index in deferred
+        ]
+        demoted = any(
+            index in deferred for index in range(len(active))
+        )
+        if demoted:
+            # Install the order before charging (commits inside the
+            # charge window must append behind it, as in
+            # detect_and_correct).
+            self.umq.replace_order(active + held)
+            self.stats.deferred_units += len(held)
+            self.manager.metrics.graph_builds += 1
+            self._charge(
+                self.manager.cost.detection(nodes, edges), "detection"
+            )
+        return True
+
+    def _wait_for_recovery(self) -> None:
+        """All queued units are parked: sleep until the earliest probe
+        time or the next autonomous event, whichever comes first."""
+        next_probe = min(self._quarantined.values())
+        next_event = self.engine.next_event_time()
+        if next_event is not None and next_event < next_probe:
+            self.engine.advance_to_next_event()
+        else:
+            self.engine.advance_to(next_probe)
+        self._lift_due_quarantines()
+
+    def _sync_fault_stats(self) -> None:
+        metrics = self.manager.metrics
+        self.stats.retries = metrics.retries
+        self.stats.backoff_time = metrics.backoff_time
+        self.stats.transient_failures = metrics.transient_failures
+
+    # ------------------------------------------------------------------
     # the Dyno loop
     # ------------------------------------------------------------------
 
@@ -190,6 +377,8 @@ class DynoScheduler:
         """
         metrics = self.manager.metrics
         cost = self.manager.cost
+        self._sync_fault_stats()
+        self._lift_due_quarantines()
         if self.umq.is_empty():
             return self.engine.advance_to_next_event()
         if self.defer_du_interval is not None and self._defer_step():
@@ -203,6 +392,12 @@ class DynoScheduler:
                 self.detect_and_correct()
                 if self.umq.is_empty():
                     return True
+
+        # Graceful degradation: with sources in quarantine, run only
+        # maintenance that does not depend on them; park the rest.
+        if self._quarantined and not self._make_runnable_head():
+            self._wait_for_recovery()
+            return True
 
         unit = self.umq.head()
         started_at = self.engine.clock.now
@@ -227,6 +422,18 @@ class DynoScheduler:
                 f"wasted {wasted:.3f}s on {unit.describe()}",
             )
             self._handle_broken_query(unit, broken)
+            return True
+        except SourceUnavailableError as down:
+            # An outage, not an anomaly: retries are exhausted and the
+            # partial work is discarded, but no broken-query flag is
+            # raised and none of the paper's abort metrics move.
+            wasted = self.engine.clock.now - started_at
+            self.engine.tracer.record(
+                self.engine.clock.now,
+                trace_kinds.FAULT,
+                f"abandoned {unit.describe()} after {wasted:.3f}s: {down}",
+            )
+            self._handle_broken_query(unit, down)
             return True
         # Success: line 12, remove the head.
         self._last_broken_unit_ids = None
@@ -263,11 +470,21 @@ class DynoScheduler:
         while self.stats.iterations < self.max_iterations:
             if not self.step():
                 break  # quiescent
+        self._sync_fault_stats()
         return self.stats
 
     def _handle_broken_query(
-        self, unit: MaintenanceUnit, broken: BrokenQueryError
+        self, unit: MaintenanceUnit, broken: SourceError
     ) -> None:
+        # Classification first (in-exec detection, refined): a failure
+        # that is merely *transient* must never raise the broken-query
+        # flag — a spurious flag would fabricate an unsafe dependency
+        # (Theorem 1 reads broken query => conflicting SC committed)
+        # and trigger a pointless abort/reorder or forced merge.
+        if self._classify_transient(broken):
+            return
+        self.stats.genuine_broken_flags += 1
+        assert isinstance(broken, BrokenQueryError)
         policy = self.strategy.on_broken_query
         if policy is BrokenQueryPolicy.SKIP:
             self.umq.remove_head()

@@ -22,6 +22,9 @@ from __future__ import annotations
 
 from .core.scheduler import DynoScheduler, SchedulerStats
 from .core.strategies import PESSIMISTIC, Strategy
+from .faults.injector import FaultInjector, FaultStats
+from .faults.plan import FaultPlan
+from .faults.retry import RetryPolicy
 from .relational.sql import parse_view
 from .relational.table import Table
 from .sim.costs import CostModel
@@ -50,10 +53,16 @@ class DyDaSystem:
         cost_model: CostModel | None = None,
         mkb: MetaKnowledgeBase | None = None,
         trace: bool = False,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.engine = SimEngine(
             cost_model or CostModel.paper_default(), trace=trace
         )
+        if fault_plan is not None or retry_policy is not None:
+            self.engine.install_faults(
+                FaultInjector(fault_plan or FaultPlan()), retry_policy
+            )
         self.strategy = strategy
         self.mkb = mkb or MetaKnowledgeBase()
         self._view_definitions: list[ViewDefinition] = []
@@ -187,6 +196,19 @@ class DyDaSystem:
     @property
     def metrics(self):
         return self.engine.metrics
+
+    @property
+    def injector(self) -> FaultInjector | None:
+        """The armed fault injector, or None when running fault-free."""
+        return self.engine.injector
+
+    @property
+    def fault_stats(self) -> FaultStats | None:
+        return (
+            self.engine.injector.stats
+            if self.engine.injector is not None
+            else None
+        )
 
     @property
     def stats(self) -> SchedulerStats:

@@ -1,0 +1,25 @@
+"""Deterministic fault injection and recovery for unreliable sources.
+
+The paper assumes autonomous sources that at least *answer* every
+maintenance query; this package drops that assumption.  A seeded
+:class:`FaultPlan` injects transient query failures, timeouts, crash
+windows and lossy wrapper links; a :class:`RetryPolicy` governs
+exponential backoff (charged to the virtual clock); and the Dyno
+scheduler degrades gracefully — quarantining unavailable sources and
+deferring only the maintenance that depends on them — instead of
+misreading transient failures as broken-query anomalies.
+"""
+
+from .injector import FaultInjector, FaultStats
+from .plan import CrashWindow, FaultPlan, LinkFault, TransientFault
+from .retry import RetryPolicy
+
+__all__ = [
+    "CrashWindow",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "LinkFault",
+    "RetryPolicy",
+    "TransientFault",
+]

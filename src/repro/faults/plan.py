@@ -1,0 +1,234 @@
+"""Declarative, reproducible fault plans.
+
+A :class:`FaultPlan` is a *schedule of misbehaviour* for the autonomous
+sources and their wrapper links:
+
+* :class:`TransientFault` — the n-th maintenance-query attempt against a
+  source fails (plain error or timeout).  Attempt-indexed rather than
+  time-indexed so plans stay meaningful under retries: a retried query
+  consumes the next attempt slot and may fail again if the plan says so.
+* :class:`CrashWindow` — a source is down for a virtual-time interval;
+  every query inside the window fails, and the failure carries the
+  window's end as a ``retry_at`` recovery hint.
+* :class:`LinkFault` — the n-th message forwarded by a source's wrapper
+  is delayed, or dropped and redelivered (never lost: sources cannot
+  roll back committed updates, so the wrapper must eventually deliver).
+
+Plans are plain data: build one explicitly for targeted tests, or draw a
+randomized-but-deterministic one from a seed with :meth:`FaultPlan
+.random` for chaos suites.  The same seed always produces the same plan,
+and nothing in the injection path consults wall-clock time or global
+randomness, so every faulty run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TransientFault:
+    """Fail one query attempt at ``source``.
+
+    ``attempt_index`` counts query attempts at that source from 0,
+    including retries.  ``kind`` is ``"error"`` (instant failure) or
+    ``"timeout"`` (the attempt consumes ``timeout`` virtual seconds
+    before failing).
+    """
+
+    source: str
+    attempt_index: int
+    kind: str = "error"
+    timeout: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("error", "timeout"):
+            raise ValueError(f"unknown transient fault kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """``source`` answers nothing during ``[start, end)`` virtual time."""
+
+    source: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(
+                f"empty crash window [{self.start}, {self.end})"
+            )
+
+    def covers(self, at: float) -> bool:
+        return self.start <= at < self.end
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Delay or drop-with-redelivery one wrapper message.
+
+    ``message_index`` counts messages forwarded by the source's wrapper
+    from 0.  ``delay`` is extra transmission latency; ``drops`` is how
+    many times the message is lost before a redelivery succeeds, each
+    loss costing ``redelivery_delay`` additional virtual seconds.  Both
+    compose with the wrapper's own fixed ``latency``.
+    """
+
+    source: str
+    message_index: int
+    delay: float = 0.0
+    drops: int = 0
+    redelivery_delay: float = 0.1
+
+    @property
+    def total_delay(self) -> float:
+        return self.delay + self.drops * self.redelivery_delay
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, immutable fault schedule for one simulated run."""
+
+    transients: tuple[TransientFault, ...] = ()
+    crashes: tuple[CrashWindow, ...] = ()
+    link_faults: tuple[LinkFault, ...] = ()
+    #: seed the plan was drawn from, if any (for reporting only)
+    seed: int | None = None
+
+    # Lookup indexes, built lazily on first use and cached on the
+    # instance (the dataclass is frozen, hence object.__setattr__).
+    _transient_index: dict = field(
+        default=None, repr=False, compare=False
+    )
+    _link_index: dict = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_transient_index",
+            {
+                (fault.source, fault.attempt_index): fault
+                for fault in self.transients
+            },
+        )
+        object.__setattr__(
+            self,
+            "_link_index",
+            {
+                (fault.source, fault.message_index): fault
+                for fault in self.link_faults
+            },
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.transients or self.crashes or self.link_faults)
+
+    def transient_for(
+        self, source: str, attempt_index: int
+    ) -> TransientFault | None:
+        return self._transient_index.get((source, attempt_index))
+
+    def crash_covering(self, source: str, at: float) -> CrashWindow | None:
+        for window in self.crashes:
+            if window.source == source and window.covers(at):
+                return window
+        return None
+
+    def link_fault_for(
+        self, source: str, message_index: int
+    ) -> LinkFault | None:
+        return self._link_index.get((source, message_index))
+
+    def describe(self) -> str:
+        seed = f" seed={self.seed}" if self.seed is not None else ""
+        return (
+            f"FaultPlan({len(self.transients)} transients, "
+            f"{len(self.crashes)} crash windows, "
+            f"{len(self.link_faults)} link faults{seed})"
+        )
+
+    # ------------------------------------------------------------------
+    # randomized construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        sources: list[str] | tuple[str, ...],
+        horizon: float = 30.0,
+        transient_rate: float = 0.15,
+        attempt_slots: int = 40,
+        timeout_share: float = 0.3,
+        max_crashes: int = 2,
+        crash_length: tuple[float, float] = (0.5, 3.0),
+        link_fault_rate: float = 0.2,
+        message_slots: int = 20,
+        max_link_delay: float = 0.5,
+        drop_share: float = 0.4,
+    ) -> "FaultPlan":
+        """Draw a reproducible plan from ``seed``.
+
+        Per source: each of the first ``attempt_slots`` query attempts
+        fails with probability ``transient_rate`` (a ``timeout_share``
+        of those as timeouts); up to ``max_crashes`` crash windows land
+        inside ``[0, horizon]``; each of the first ``message_slots``
+        wrapper messages suffers a link fault with probability
+        ``link_fault_rate`` (a ``drop_share`` of those as drops).
+
+        Fault sets are finite by construction, so any run that keeps
+        retrying must eventually drain them — the termination argument
+        chaos tests rely on.
+        """
+        rng = random.Random(seed)
+        transients: list[TransientFault] = []
+        crashes: list[CrashWindow] = []
+        link_faults: list[LinkFault] = []
+        for source in sources:
+            for attempt in range(attempt_slots):
+                if rng.random() >= transient_rate:
+                    continue
+                if rng.random() < timeout_share:
+                    transients.append(
+                        TransientFault(
+                            source,
+                            attempt,
+                            kind="timeout",
+                            timeout=rng.uniform(0.1, 1.0),
+                        )
+                    )
+                else:
+                    transients.append(TransientFault(source, attempt))
+            for _ in range(rng.randint(0, max_crashes)):
+                length = rng.uniform(*crash_length)
+                start = rng.uniform(0.0, max(horizon - length, 0.0))
+                crashes.append(CrashWindow(source, start, start + length))
+            for index in range(message_slots):
+                if rng.random() >= link_fault_rate:
+                    continue
+                if rng.random() < drop_share:
+                    link_faults.append(
+                        LinkFault(
+                            source,
+                            index,
+                            drops=rng.randint(1, 2),
+                            redelivery_delay=rng.uniform(0.05, 0.3),
+                        )
+                    )
+                else:
+                    link_faults.append(
+                        LinkFault(
+                            source,
+                            index,
+                            delay=rng.uniform(0.01, max_link_delay),
+                        )
+                    )
+        return cls(
+            transients=tuple(transients),
+            crashes=tuple(crashes),
+            link_faults=tuple(link_faults),
+            seed=seed,
+        )

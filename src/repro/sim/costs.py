@@ -43,6 +43,9 @@ class CostModel:
     va_base: float = 1.0
     #: per tuple recomputed/installed during view adaptation
     va_per_tuple: float = 0.0004
+    #: fixed overhead of re-issuing a maintenance query after a
+    #: transient failure (connection re-establishment, request resend)
+    retry_overhead: float = 0.002
     #: pre-exec detection: checking the schema-change flag
     detection_flag_check: float = 0.00001
     #: building one dependency-graph node
@@ -74,6 +77,11 @@ class CostModel:
 
     def refresh(self, delta_tuples: int) -> float:
         return self.refresh_base + delta_tuples * self.refresh_per_tuple
+
+    def retry_pause(self, backoff: float) -> float:
+        """One retry round: fixed re-issue overhead plus the backoff
+        sleep the :class:`~repro.faults.retry.RetryPolicy` prescribed."""
+        return self.retry_overhead + backoff
 
     def detection(self, nodes: int, edges: int) -> float:
         return (
@@ -128,6 +136,7 @@ class CostModel:
             vs_rewrite=0.0,
             va_base=0.0,
             va_per_tuple=0.0,
+            retry_overhead=0.0,
             detection_flag_check=0.0,
             detection_per_node=0.0,
             detection_per_edge=0.0,

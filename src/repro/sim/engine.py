@@ -62,6 +62,8 @@ class SimEngine:
         self,
         cost_model: CostModel | None = None,
         trace: bool = False,
+        injector: "FaultInjector | None" = None,
+        retry_policy: "RetryPolicy | None" = None,
     ) -> None:
         self.clock = SimClock()
         self.cost_model = cost_model or CostModel.paper_default()
@@ -70,6 +72,10 @@ class SimEngine:
         self._events: list[tuple[float, int, Callable[[], None]]] = []
         self._sequence = itertools.count()
         self.tracer = Tracer(enabled=trace)
+        self.injector: "FaultInjector | None" = None
+        self.retry_policy: "RetryPolicy | None" = retry_policy
+        if injector is not None:
+            self.install_faults(injector, retry_policy)
 
     # ------------------------------------------------------------------
     # setup
@@ -77,7 +83,34 @@ class SimEngine:
 
     def add_source(self, source: DataSource) -> DataSource:
         self.sources[source.name] = source
+        if self.injector is not None:
+            source.fault_gate = self._fault_gate
         return source
+
+    def install_faults(
+        self,
+        injector: "FaultInjector",
+        retry_policy: "RetryPolicy | None" = None,
+    ) -> "FaultInjector":
+        """Arm fault injection: gate every source's query entry point
+        (current and future sources) and set the retry policy the query
+        path runs under.  Without an explicit policy a default
+        :class:`~repro.faults.retry.RetryPolicy` is used so injected
+        transients are actually retried."""
+        from ..faults.retry import RetryPolicy
+
+        self.injector = injector
+        if retry_policy is not None:
+            self.retry_policy = retry_policy
+        elif self.retry_policy is None:
+            self.retry_policy = RetryPolicy()
+        for source in self.sources.values():
+            source.fault_gate = self._fault_gate
+        return injector
+
+    def _fault_gate(self, source_name: str) -> None:
+        if self.injector is not None:
+            self.injector.on_query(source_name, self.clock.now)
 
     def source(self, name: str) -> DataSource:
         return self.sources[name]
@@ -172,6 +205,79 @@ class SimEngine:
         raise TypeError(f"unknown effect {effect!r}")
 
     def _perform_query(self, effect: SourceQuery) -> QueryAnswer:
+        """One logical maintenance query: attempt + retry under faults.
+
+        Transient failures (injected by a
+        :class:`~repro.faults.injector.FaultInjector`, or raised by any
+        custom source) are retried under the engine's
+        :class:`~repro.faults.retry.RetryPolicy`; every attempt re-pays
+        the request round trip and every backoff sleep is charged to the
+        virtual clock, so faulty runs honestly cost more.  Exhausted
+        retries raise :class:`~repro.sources.errors
+        .SourceUnavailableError` — deliberately *not* a
+        :class:`BrokenQueryError`, so in-exec detection never mistakes
+        an outage for a broken-query anomaly.
+        """
+        from ..sources.errors import (
+            SourceUnavailableError,
+            TransientSourceError,
+        )
+
+        policy = self.retry_policy
+        deadline = (
+            self.clock.now + policy.deadline
+            if policy is not None and policy.deadline > 0
+            else None
+        )
+        failures = 0
+        while True:
+            try:
+                return self._attempt_query(effect)
+            except TransientSourceError as exc:
+                failures += 1
+                self.metrics.transient_failures += 1
+                elapsed = getattr(exc, "elapsed", 0.0)
+                if elapsed > 0:
+                    # A timeout is not free: the view manager waited.
+                    self.metrics.charge(effect.kind, elapsed)
+                    self.advance_by(elapsed)
+                self.tracer.record(
+                    self.clock.now, trace_kinds.FAULT, str(exc)
+                )
+                if policy is None or failures >= policy.max_attempts:
+                    self.metrics.exhausted_queries += 1
+                    raise SourceUnavailableError(
+                        effect.source_name,
+                        failures,
+                        "retry budget exhausted",
+                        last_error=exc,
+                    ) from exc
+                pause = self.cost_model.retry_pause(
+                    policy.backoff(failures, salt=effect.source_name)
+                )
+                if deadline is not None and (
+                    self.clock.now + pause > deadline
+                ):
+                    self.metrics.exhausted_queries += 1
+                    raise SourceUnavailableError(
+                        effect.source_name,
+                        failures,
+                        f"per-query deadline ({policy.deadline:g}s) "
+                        f"exceeded",
+                        last_error=exc,
+                    ) from exc
+                self.metrics.retries += 1
+                self.metrics.backoff_time += pause
+                self.metrics.charge("retry_backoff", pause)
+                self.tracer.record(
+                    self.clock.now,
+                    trace_kinds.RETRY,
+                    f"{effect.source_name}: attempt {failures + 1} "
+                    f"after {pause:.3f}s backoff",
+                )
+                self.advance_by(pause)
+
+    def _attempt_query(self, effect: SourceQuery) -> QueryAnswer:
         query = effect.query
         source = self.sources[effect.source_name]
         probe_values = _probe_value_count(query)

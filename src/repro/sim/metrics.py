@@ -39,6 +39,16 @@ class Metrics:
     view_delta_tuples: int = 0
     #: autonomous commits rejected by their own source (stale intents)
     failed_commits: int = 0
+    #: transient maintenance-query failures observed (injected faults,
+    #: crash-window rejections, timeouts) — never counted as broken
+    transient_failures: int = 0
+    #: maintenance-query retries performed after transient failures
+    retries: int = 0
+    #: virtual time spent in retry backoff sleeps (included in busy time
+    #: under the ``"retry_backoff"`` kind)
+    backoff_time: float = 0.0
+    #: queries abandoned after exhausting their retry budget
+    exhausted_queries: int = 0
     #: broken-query anomalies by Section 3.1 type (3 = SC vs M(DU),
     #: 4 = SC vs M(SC)); types 1-2 never abort — they are absorbed by
     #: compensation and visible in the manager's CompensationLog
@@ -67,6 +77,10 @@ class Metrics:
             "detection_rounds": self.detection_rounds,
             "graph_builds": self.graph_builds,
             "cycle_merges": self.cycle_merges,
+            "transient_failures": self.transient_failures,
+            "retries": self.retries,
+            "backoff_time": round(self.backoff_time, 6),
+            "exhausted_queries": self.exhausted_queries,
             "anomalies": {
                 kind.name: count for kind, count in self.anomalies.items()
             },

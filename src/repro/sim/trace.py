@@ -35,6 +35,10 @@ BROKEN = "broken"
 ABORT = "abort"
 CORRECTION = "correction"
 REFRESH = "refresh"
+FAULT = "fault"
+RETRY = "retry"
+QUARANTINE = "quarantine"
+RESUME = "resume"
 
 
 @dataclass

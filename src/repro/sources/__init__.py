@@ -1,6 +1,13 @@
 """Autonomous data sources, wrappers, update messages and workloads."""
 
-from .errors import BrokenQueryError, SourceError, UpdateApplicationError
+from .errors import (
+    BrokenQueryError,
+    QueryTimeoutError,
+    SourceError,
+    SourceUnavailableError,
+    TransientSourceError,
+    UpdateApplicationError,
+)
 from .messages import (
     AddAttribute,
     CreateRelation,
@@ -51,6 +58,7 @@ __all__ = [
     "FixedUpdate",
     "InsertRandomRow",
     "MetaKnowledgeBase",
+    "QueryTimeoutError",
     "RelationReplacement",
     "RenameAttribute",
     "RenameRandomAttribute",
@@ -59,9 +67,11 @@ __all__ = [
     "RestructureRelations",
     "SchemaChange",
     "SourceError",
+    "SourceUnavailableError",
     "SourceUpdate",
     "SqliteCatalog",
     "SqliteDataSource",
+    "TransientSourceError",
     "UpdateApplicationError",
     "UpdateIntent",
     "UpdateMessage",

@@ -50,6 +50,12 @@ class DataSource:
         self.log: list[UpdateMessage] = []
         self._subscribers: list[Subscriber] = []
         self._next_seqno = 1
+        #: fault-injection hook consulted at every query entry; the
+        #: engine installs one when faults are armed
+        #: (:meth:`~repro.sim.engine.SimEngine.install_faults`).  It may
+        #: raise :class:`~repro.sources.errors.TransientSourceError` to
+        #: simulate outages, timeouts and crash windows.
+        self.fault_gate: Callable[[str], None] | None = None
 
     # ------------------------------------------------------------------
     # setup
@@ -149,6 +155,7 @@ class DataSource:
         relations or attributes raise :class:`BrokenQueryError` — the
         query was built from outdated schema knowledge.
         """
+        self.admit_query()
         tables: dict[str, Table] = {}
         for ref in query.relations:
             if ref.source != self.name:
@@ -181,6 +188,17 @@ class DataSource:
                 )
 
         return execute(query, tables)
+
+    def admit_query(self) -> None:
+        """Fault-injection checkpoint shared by every query entry point.
+
+        A crashed or flaky source fails *before* looking at the query:
+        transient unavailability says nothing about the query's
+        validity, which is what keeps it distinguishable from the
+        broken-query anomaly.
+        """
+        if self.fault_gate is not None:
+            self.fault_gate(self.name)
 
     # ------------------------------------------------------------------
     # introspection

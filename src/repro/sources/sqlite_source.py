@@ -268,6 +268,7 @@ class SqliteDataSource(DataSource):
     # ------------------------------------------------------------------
 
     def execute(self, query: SPJQuery) -> Table:
+        self.admit_query()
         # Metadata validation first: outdated schema knowledge must
         # surface as a broken query, not as a SQL syntax error.
         alias_schemas: dict[str, RelationSchema] = {}

@@ -7,17 +7,29 @@ Here a :class:`Wrapper` subscribes to a :class:`~repro.sources.source
 forwards it to a sink — in the full system, the view manager's Update
 Message Queue.
 
-A wrapper can also impose a fixed transmission latency; in the simulated
-deployment the latency is realized by the event engine, the wrapper only
-records the value.
+A wrapper can also impose a fixed transmission ``latency``, realized by
+the simulation engine: delivery is scheduled at ``commit_time +
+latency``, and any link faults from an armed
+:class:`~repro.faults.injector.FaultInjector` (message delay,
+drop-with-redelivery) compose on top.  Delivery stays FIFO per wrapper
+regardless of per-message delays — a delayed message holds back its
+successors, like an ordered transport would — because the view manager's
+semantic dependencies (Definition 4) assume per-source commit order in
+the UMQ.
+
+Without an engine (or with zero total delay and nothing in flight) the
+wrapper forwards synchronously, byte-for-byte the pre-fault behaviour.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from .messages import UpdateMessage
 from .source import DataSource
+
+if TYPE_CHECKING:
+    from ..sim.engine import SimEngine
 
 Sink = Callable[[UpdateMessage], None]
 
@@ -30,15 +42,59 @@ class Wrapper:
         source: DataSource,
         sink: Sink,
         latency: float = 0.0,
+        engine: "SimEngine | None" = None,
     ) -> None:
         self.source = source
         self.sink = sink
         self.latency = latency
+        self.engine = engine
         self.forwarded: int = 0
+        self.delivered: int = 0
+        #: messages committed but not yet handed to the sink, in commit
+        #: order (the FIFO reorder buffer for delayed deliveries)
+        self._pending: list[UpdateMessage] = []
+        #: ids of pending messages whose transmission delay has elapsed
+        self._arrived: set[int] = set()
         source.subscribe(self._on_commit)
+
+    @property
+    def in_flight(self) -> int:
+        """Messages committed at the source but not yet delivered."""
+        return self.forwarded - self.delivered
+
+    def pending_messages(self) -> tuple[UpdateMessage, ...]:
+        """Committed-but-undelivered messages, in commit order.
+
+        These updates are already visible in source query answers, so
+        compensation must treat them exactly like queued messages behind
+        the unit being maintained (SWEEP would otherwise miss them and
+        leave the duplication anomaly in place).
+        """
+        return tuple(self._pending)
 
     def _on_commit(self, message: UpdateMessage) -> None:
         self.forwarded += 1
+        engine = self.engine
+        delay = self.latency
+        if engine is not None and engine.injector is not None:
+            delay += engine.injector.on_forward(self.source.name)
+        if engine is None or (delay <= 0 and not self._pending):
+            self._deliver(message)
+            return
+        self._pending.append(message)
+        arrival = max(message.committed_at + delay, engine.clock.now)
+        engine.schedule(arrival, lambda: self._arrive(message))
+
+    def _arrive(self, message: UpdateMessage) -> None:
+        """The transmission delay elapsed; deliver in commit order."""
+        self._arrived.add(id(message))
+        while self._pending and id(self._pending[0]) in self._arrived:
+            ready = self._pending.pop(0)
+            self._arrived.discard(id(ready))
+            self._deliver(ready)
+
+    def _deliver(self, message: UpdateMessage) -> None:
+        self.delivered += 1
         self.sink(message)
 
     def __repr__(self) -> str:

@@ -101,7 +101,9 @@ class ViewManager:
         self.wrappers: list[Wrapper] = []
         if attach_wrappers:
             for source in engine.sources.values():
-                self.wrappers.append(Wrapper(source, self.umq.receive))
+                self.wrappers.append(
+                    Wrapper(source, self.umq.receive, engine=engine)
+                )
         self.mv = MaterializedView(
             view.name, view.result_schema(engine.sources)
         )
@@ -130,7 +132,23 @@ class ViewManager:
     def connect(self, source: DataSource) -> None:
         """Attach a source that joined after construction."""
         self.engine.add_source(source)
-        self.wrappers.append(Wrapper(source, self.umq.receive))
+        self.wrappers.append(
+            Wrapper(source, self.umq.receive, engine=self.engine)
+        )
+
+    def _in_flight_messages(self) -> list:
+        """Committed-but-undelivered messages across all wrappers.
+
+        Link faults (and wrapper latency) open a window where an update
+        is committed at its source — and therefore visible to
+        maintenance queries — but not yet in the UMQ.  Compensation must
+        see those messages as *behind* every unit, or the duplication
+        anomaly of Example 1.a reappears under transmission delay.
+        """
+        pending: list = []
+        for wrapper in self.wrappers:
+            pending.extend(wrapper.pending_messages())
+        return pending
 
     def _translated(self, message):
         """Map a data-update message through the schema history.
@@ -354,8 +372,10 @@ class _UMQView:
         self._extra = list(extra)
 
     def messages_behind(self, _sub_unit) -> list:
-        pending = self._extra + self._manager.umq.messages_behind(
-            self._unit
+        pending = (
+            self._extra
+            + self._manager.umq.messages_behind(self._unit)
+            + self._manager._in_flight_messages()
         )
         if self._manager.schema_history.is_empty():
             return pending

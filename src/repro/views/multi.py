@@ -55,7 +55,7 @@ class MultiViewManager:
         self.engine = engine
         self.umq = UpdateMessageQueue()
         self.wrappers: list[Wrapper] = [
-            Wrapper(source, self.umq.receive)
+            Wrapper(source, self.umq.receive, engine=engine)
             for source in engine.sources.values()
         ]
         self.managers: list[ViewManager] = [
@@ -64,6 +64,10 @@ class MultiViewManager:
             )
             for view in views
         ]
+        for manager in self.managers:
+            # Share the wrapper list (by reference — connect() extends
+            # it) so each manager's compensation sees in-flight messages.
+            manager.wrappers = self.wrappers
 
     # ------------------------------------------------------------------
     # plumbing
@@ -88,7 +92,9 @@ class MultiViewManager:
 
     def connect(self, source: DataSource) -> None:
         self.engine.add_source(source)
-        self.wrappers.append(Wrapper(source, self.umq.receive))
+        self.wrappers.append(
+            Wrapper(source, self.umq.receive, engine=self.engine)
+        )
 
     # ------------------------------------------------------------------
     # the scheduler protocol

@@ -1,0 +1,104 @@
+"""Fault plans: plain data, exact lookups, reproducible randomness."""
+
+import pytest
+
+from repro.faults.plan import (
+    CrashWindow,
+    FaultPlan,
+    LinkFault,
+    TransientFault,
+)
+
+
+class TestFaultShapes:
+    def test_transient_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            TransientFault("s", 0, kind="meltdown")
+
+    def test_crash_window_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            CrashWindow("s", 2.0, 2.0)
+
+    def test_crash_window_half_open(self):
+        window = CrashWindow("s", 1.0, 3.0)
+        assert window.covers(1.0)
+        assert window.covers(2.999)
+        assert not window.covers(3.0)
+        assert not window.covers(0.999)
+
+    def test_link_fault_total_delay_composes_drops(self):
+        fault = LinkFault("s", 0, delay=0.2, drops=2, redelivery_delay=0.1)
+        assert fault.total_delay == pytest.approx(0.4)
+
+
+class TestFaultPlanLookups:
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.is_empty
+        assert plan.transient_for("s", 0) is None
+        assert plan.crash_covering("s", 0.0) is None
+        assert plan.link_fault_for("s", 0) is None
+
+    def test_transient_lookup_is_source_and_attempt_exact(self):
+        fault = TransientFault("a", 3)
+        plan = FaultPlan(transients=(fault,))
+        assert plan.transient_for("a", 3) is fault
+        assert plan.transient_for("a", 2) is None
+        assert plan.transient_for("b", 3) is None
+
+    def test_crash_lookup_respects_window(self):
+        window = CrashWindow("a", 1.0, 2.0)
+        plan = FaultPlan(crashes=(window,))
+        assert plan.crash_covering("a", 1.5) is window
+        assert plan.crash_covering("a", 2.5) is None
+        assert plan.crash_covering("b", 1.5) is None
+
+    def test_link_lookup_is_message_indexed(self):
+        fault = LinkFault("a", 1, delay=0.3)
+        plan = FaultPlan(link_faults=(fault,))
+        assert plan.link_fault_for("a", 1) is fault
+        assert plan.link_fault_for("a", 0) is None
+
+    def test_describe_mentions_counts_and_seed(self):
+        plan = FaultPlan(
+            transients=(TransientFault("a", 0),),
+            crashes=(CrashWindow("a", 0.0, 1.0),),
+            seed=42,
+        )
+        text = plan.describe()
+        assert "1 transients" in text
+        assert "1 crash windows" in text
+        assert "seed=42" in text
+
+
+class TestRandomPlans:
+    def test_same_seed_same_plan(self):
+        first = FaultPlan.random(11, ["a", "b"])
+        second = FaultPlan.random(11, ["a", "b"])
+        assert first.transients == second.transients
+        assert first.crashes == second.crashes
+        assert first.link_faults == second.link_faults
+
+    def test_different_seeds_differ(self):
+        plans = [FaultPlan.random(seed, ["a", "b"]) for seed in range(5)]
+        signatures = {
+            (p.transients, p.crashes, p.link_faults) for p in plans
+        }
+        assert len(signatures) > 1
+
+    def test_crashes_fit_inside_horizon(self):
+        for seed in range(10):
+            plan = FaultPlan.random(seed, ["a"], horizon=7.5)
+            for window in plan.crashes:
+                assert 0.0 <= window.start < window.end <= 7.5
+
+    def test_fault_sets_are_finite_and_slot_bounded(self):
+        plan = FaultPlan.random(
+            3, ["a", "b"], attempt_slots=10, message_slots=5
+        )
+        assert all(f.attempt_index < 10 for f in plan.transients)
+        assert all(f.message_index < 5 for f in plan.link_faults)
+        assert all(f.kind in ("error", "timeout") for f in plan.transients)
+
+    def test_seed_recorded_for_reporting(self):
+        assert FaultPlan.random(9, ["a"]).seed == 9

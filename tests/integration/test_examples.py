@@ -58,5 +58,13 @@ def test_multi_view_sql():
 def test_abort_timeline():
     output = run_example("abort_timeline.py")
     assert "broken" in output and "abort" in output
+
+
+def test_unreliable_sources():
+    output = run_example("unreliable_sources.py")
+    assert "quarantined 'parts'" in output
+    assert "genuine broken-query flags=0" in output
+    assert "extents identical to fault-free run: True" in output
+    assert "faults made the run slower: True" in output
     assert "correction" in output
     assert "consistent: view matches recompute" in output
