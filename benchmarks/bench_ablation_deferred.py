@@ -31,6 +31,7 @@ def run_deferred_ablation(
         testbed = build_testbed(
             PESSIMISTIC, tuples_per_relation=tuples_per_relation, seed=seed
         )
+        testbed.scheduler.detach()
         testbed.scheduler = DynoScheduler(
             testbed.manager, PESSIMISTIC, defer_du_interval=interval
         )

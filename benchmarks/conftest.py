@@ -21,8 +21,11 @@ def save_result():
 
     def _save(result) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
-        path = RESULTS_DIR / f"{result.figure_id.lower()}.txt"
-        path.write_text(result.table() + "\n")
+        stem = result.figure_id.lower()
+        (RESULTS_DIR / f"{stem}.txt").write_text(result.table() + "\n")
+        (RESULTS_DIR / f"{stem}.json").write_text(
+            result.to_json() + "\n"
+        )
         print()
         print(result.table())
 

@@ -12,6 +12,11 @@ from .dependencies import (
 )
 from .detection import DetectionResult, detect
 from .graph import DependencyGraph
+from .incremental import (
+    FootprintCache,
+    IncrementalDependencyGraph,
+    lineage_affecting,
+)
 from .scheduler import DynoScheduler, SchedulerStats
 from .strategies import (
     BLIND_MERGE,
@@ -33,6 +38,8 @@ __all__ = [
     "DetectionResult",
     "DynoScheduler",
     "Footprint",
+    "FootprintCache",
+    "IncrementalDependencyGraph",
     "NAIVE",
     "OPTIMISTIC",
     "PESSIMISTIC",
@@ -44,5 +51,6 @@ __all__ = [
     "find_dependencies",
     "footprint_of_query",
     "footprint_of_update",
+    "lineage_affecting",
     "merge_all",
 ]

@@ -44,14 +44,18 @@ def correct(
     messages: list[UpdateMessage],
     view_query,
     rewritten_query: Callable[[UpdateMessage], object] | None = None,
+    detection: DetectionResult | None = None,
 ) -> CorrectionResult:
     """Detect dependencies and compute a legal maintenance order.
 
     The returned units preserve FIFO order wherever dependencies allow;
     messages inside a merged batch keep their commit order so batch
-    preprocessing (Section 5) can combine them correctly.
+    preprocessing (Section 5) can combine them correctly.  A caller
+    holding an already-built graph (the incremental detection substrate)
+    passes it as ``detection`` to skip the from-scratch build.
     """
-    detection = detect(messages, view_query, rewritten_query)
+    if detection is None:
+        detection = detect(messages, view_query, rewritten_query)
     groups = detection.graph.legal_order()
     units = [
         MaintenanceUnit([messages[index] for index in group])
@@ -65,6 +69,7 @@ def correct(
 def merge_all(
     messages: list[UpdateMessage],
     view_query,
+    detection: DetectionResult | None = None,
 ) -> CorrectionResult:
     """The simplistic alternative of Section 4.2: merge *everything*
     into one batch whenever a broken query occurs.
@@ -73,7 +78,8 @@ def merge_all(
     confirms) that it loses intermediate view states and inflates both
     the batch cost and the chance of further aborts.
     """
-    detection = detect(messages, view_query)
+    if detection is None:
+        detection = detect(messages, view_query)
     units = [MaintenanceUnit(list(messages))] if messages else []
     return CorrectionResult(
         units, detection, merges=1 if len(messages) > 1 else 0, changed=True

@@ -178,7 +178,14 @@ def footprint_of_query(
     for attr_ref in query.all_attribute_refs():
         if attr_ref.relation is None or attr_ref.relation in exclude_aliases:
             continue
-        owner = by_alias[attr_ref.relation]
+        owner = by_alias.get(attr_ref.relation)
+        if owner is None:
+            # Speculative rewrites can leave attribute references to an
+            # alias no longer in the FROM list (e.g. a dropped-relation
+            # rewrite that prunes the relation but not every predicate).
+            # Such a dangling reference reads no source metadata, so it
+            # contributes nothing to the footprint.
+            continue
         attributes.add((owner.source, owner.relation, attr_ref.name))
     return Footprint(frozenset(relations), frozenset(attributes))
 

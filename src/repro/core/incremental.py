@@ -1,0 +1,523 @@
+"""Incremental detection substrate: footprint cache + live graph.
+
+Every detection round — pessimistic pre-exec (Figure 6 line 1), every
+broken-query abort, and every quarantine-deferral pass — used to rebuild
+the full dependency graph from scratch: recompute every message
+footprint and re-run the O(mn) CD sweep of Section 4.1.1.  This module
+makes the cost of a round proportional to what *changed* since the last
+round instead:
+
+* :class:`FootprintCache` memoizes each message's normalized maintenance
+  footprint under an *epoch* key (the view-definition versions plus the
+  count of schema changes ever received).  A data update's footprint
+  depends only on the view queries and the rename lineages, so in
+  DU-heavy streams it is computed once per message, not once per round.
+* :class:`IncrementalDependencyGraph` mirrors the UMQ through its
+  mutation-listener hooks: ``receive`` adds one node and only the edges
+  touching the new message (O(m) conflict tests for a DU, O(n) for a
+  schema change), ``remove_head`` drops the head node and remaps
+  indices, ``replace_order`` remaps indices and recomputes only the
+  (order-dependent) semantic edges.  A from-scratch rebuild — identical
+  to :func:`~repro.core.dependencies.find_dependencies` and kept as the
+  property-test oracle — remains the fallback for the cases incremental
+  maintenance cannot shortcut:
+
+  - a *lineage-affecting* message (rename/restructure) arrives, leaves,
+    or is reordered: the :class:`~repro.core.dependencies.NameResolver`
+    changes, so every normalized footprint may change;
+  - a unit containing any schema change is removed from the head: its
+    maintenance may have rewritten the view definition(s), so every
+    footprint may change (the epoch catches the version bump and the
+    rebuild re-derives the edges).
+
+  One subtlety: a schema change *committing at its source* can drift the
+  source schemas that speculative rewrites consult, which can silently
+  change the footprint of an *already queued* schema change.  On every
+  (non-lineage) SC arrival the substrate therefore drops and re-tests
+  all concurrent edges whose dependent endpoint is a schema change —
+  O(m^2) conflict tests — while data-update footprints, which never
+  consult source schemas, stay cached.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..sources.messages import (
+    RenameAttribute,
+    RenameRelation,
+    RestructureRelations,
+    SchemaChange,
+    UpdateMessage,
+)
+from ..views.umq import MaintenanceUnit, UpdateMessageQueue
+from .dependencies import (
+    Dependency,
+    DependencyKind,
+    Footprint,
+    NameResolver,
+    footprint_of_update,
+)
+from .detection import DetectionResult
+from .graph import DependencyGraph
+
+#: internal edge tags (absolute-index edge tuples carry one of these)
+_CD = DependencyKind.CONCURRENT
+_SD = DependencyKind.SEMANTIC
+
+
+def lineage_affecting(message: UpdateMessage) -> bool:
+    """Does this message extend a rename lineage (resolver input)?"""
+    return isinstance(
+        message.payload,
+        (RenameRelation, RenameAttribute, RestructureRelations),
+    )
+
+
+class FootprintCache:
+    """Normalized maintenance footprints, memoized per (message, epoch).
+
+    ``epoch`` is a zero-argument callable returning a hashable key that
+    must change whenever cached footprints could change for reasons the
+    owner cannot see locally: the view-definition versions (bumped by
+    every committed or speculative schema rewrite installed on the view)
+    and the number of schema changes ever received (source schemas only
+    drift when a schema change commits).  A changed epoch clears the
+    cache wholesale; the substrate additionally clears it explicitly
+    when the rename lineage set changes (normalization input).
+    """
+
+    def __init__(
+        self,
+        view_queries: Callable[[], object],
+        rewritten_query: Callable[[UpdateMessage], object] | None = None,
+        epoch: Callable[[], object] | None = None,
+        metrics=None,
+    ) -> None:
+        self._view_queries = view_queries
+        self._rewritten = rewritten_query
+        self._epoch_fn = epoch
+        self._epoch = epoch() if epoch is not None else None
+        self._entries: dict[int, tuple[UpdateMessage, Footprint]] = {}
+        self._metrics = metrics
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _validate_epoch(self) -> None:
+        if self._epoch_fn is None:
+            return
+        current = self._epoch_fn()
+        if current != self._epoch:
+            self.clear()
+            self._epoch = current
+
+    def clear(self) -> None:
+        if self._entries:
+            self.invalidations += 1
+        self._entries.clear()
+
+    def discard(self, message: UpdateMessage) -> None:
+        entry = self._entries.get(id(message))
+        if entry is not None and entry[0] is message:
+            del self._entries[id(message)]
+
+    def footprint(
+        self, message: UpdateMessage, resolver: NameResolver
+    ) -> Footprint:
+        """The normalized footprint of ``message`` (cached)."""
+        self._validate_epoch()
+        entry = self._entries.get(id(message))
+        if entry is not None and entry[0] is message:
+            self.hits += 1
+            if self._metrics is not None:
+                self._metrics.footprint_cache_hits += 1
+            return entry[1]
+        self.misses += 1
+        if self._metrics is not None:
+            self._metrics.footprint_cache_misses += 1
+        footprint = footprint_of_update(
+            message, self._view_queries(), self._rewritten, resolver
+        ).normalized(resolver)
+        self._entries[id(message)] = (message, footprint)
+        return footprint
+
+
+class IncrementalDependencyGraph:
+    """A dependency graph maintained alongside the UMQ.
+
+    Registers as a mutation listener on the queue and keeps a mirror of
+    the flattened message list plus the CD/SD edge sets, in *absolute*
+    indices (a monotone offset absorbs head removals so ``remove_head``
+    never renumbers surviving edges).  ``dependencies()`` exposes the
+    edges in current queue positions, bit-identical to a from-scratch
+    :func:`~repro.core.dependencies.find_dependencies` over the same
+    messages.
+    """
+
+    def __init__(
+        self,
+        umq: UpdateMessageQueue,
+        view_queries: Callable[[], object],
+        rewritten_query: Callable[[UpdateMessage], object] | None = None,
+        epoch: Callable[[], object] | None = None,
+        metrics=None,
+        attach: bool = True,
+    ) -> None:
+        self._umq = umq
+        self._rewritten = rewritten_query
+        self._metrics = metrics
+        self.cache = FootprintCache(
+            view_queries, rewritten_query, epoch, metrics
+        )
+        self._messages: list[UpdateMessage] = []
+        self._offset = 0
+        self._resolver = NameResolver([])
+        self._lineage_count = 0
+        #: absolute-index edges and the incident-edge registry
+        self._cd: set[tuple[int, int]] = set()
+        self._sd: set[tuple[int, int]] = set()
+        self._by_node: dict[int, set[tuple[int, int, DependencyKind]]] = {}
+        self._last_touch: dict[tuple[str, str], int] = {}
+        self._sc_by_abs: dict[int, UpdateMessage] = {}
+        # -- counters ---------------------------------------------------
+        self.rebuilds = 0
+        self.incremental_updates = 0
+        #: modeled work since the last ``consume_work`` drain
+        self._work_full_nodes = 0
+        self._work_full_edges = 0
+        self._work_inc_nodes = 0
+        self._work_inc_edges = 0
+        if attach:
+            umq.add_listener(self)
+        self._rebuild(clear_cache=False)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def detach(self) -> None:
+        self._umq.remove_listener(self)
+
+    # ------------------------------------------------------------------
+    # public views
+    # ------------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self._messages)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._cd) + len(self._sd)
+
+    def dependencies(self) -> list[Dependency]:
+        """Edges in current queue positions (Definition 6 indices)."""
+        offset = self._offset
+        edges = [
+            Dependency(before - offset, after - offset, _SD)
+            for before, after in self._sd
+        ]
+        edges.extend(
+            Dependency(before - offset, after - offset, _CD)
+            for before, after in self._cd
+        )
+        return edges
+
+    def detection(self) -> DetectionResult:
+        """A :class:`DetectionResult` served from the live graph."""
+        graph = DependencyGraph(self.node_count, self.dependencies())
+        return DetectionResult(graph, graph.unsafe_dependencies())
+
+    def footprint_at(self, index: int) -> Footprint:
+        """Cached normalized footprint of the message at queue position
+        ``index``."""
+        return self.cache.footprint(self._messages[index], self._resolver)
+
+    @property
+    def resolver(self) -> NameResolver:
+        return self._resolver
+
+    def consume_work(self) -> tuple[int, int, int, int]:
+        """Drain the modeled-work counters accrued since the last drain.
+
+        Returns ``(full_nodes, full_edges, inc_nodes, inc_edges)``:
+        nodes/edges processed by from-scratch rebuild fallbacks versus
+        by incremental updates (node insertions, conflict tests, edge
+        remaps).  The scheduler charges virtual detection time from
+        these so the cost model keeps reflecting the work performed.
+        """
+        drained = (
+            self._work_full_nodes,
+            self._work_full_edges,
+            self._work_inc_nodes,
+            self._work_inc_edges,
+        )
+        self._work_full_nodes = 0
+        self._work_full_edges = 0
+        self._work_inc_nodes = 0
+        self._work_inc_edges = 0
+        return drained
+
+    # ------------------------------------------------------------------
+    # edge bookkeeping (absolute indices)
+    # ------------------------------------------------------------------
+
+    def _edge_set(self, kind: DependencyKind) -> set[tuple[int, int]]:
+        return self._cd if kind is _CD else self._sd
+
+    def _add_edge(
+        self, before: int, after: int, kind: DependencyKind
+    ) -> None:
+        edges = self._edge_set(kind)
+        if (before, after) in edges:
+            return
+        edges.add((before, after))
+        record = (before, after, kind)
+        self._by_node.setdefault(before, set()).add(record)
+        self._by_node.setdefault(after, set()).add(record)
+
+    def _drop_edge(
+        self, before: int, after: int, kind: DependencyKind
+    ) -> None:
+        self._edge_set(kind).discard((before, after))
+        record = (before, after, kind)
+        for node in (before, after):
+            incident = self._by_node.get(node)
+            if incident is not None:
+                incident.discard(record)
+                if not incident:
+                    del self._by_node[node]
+
+    def _drop_node(self, absolute: int) -> int:
+        """Remove every edge incident to ``absolute``; return count."""
+        incident = self._by_node.pop(absolute, set())
+        for before, after, kind in incident:
+            self._edge_set(kind).discard((before, after))
+            other = after if before == absolute else before
+            other_incident = self._by_node.get(other)
+            if other_incident is not None:
+                other_incident.discard((before, after, kind))
+                if not other_incident:
+                    del self._by_node[other]
+        return len(incident)
+
+    # ------------------------------------------------------------------
+    # from-scratch rebuild (the fallback and the oracle's twin)
+    # ------------------------------------------------------------------
+
+    def _rebuild(self, clear_cache: bool) -> None:
+        """Recompute the mirror from the queue, footprints via cache.
+
+        ``clear_cache`` is set when the rename lineage set changed (the
+        resolver is a normalization input the epoch cannot see); view
+        version bumps clear the cache through the epoch check instead.
+        """
+        if clear_cache:
+            self.cache.clear()
+        messages = self._umq.messages()
+        self._messages = messages
+        self._offset = 0
+        self._resolver = NameResolver(messages)
+        self._lineage_count = sum(
+            1 for message in messages if lineage_affecting(message)
+        )
+        self._cd = set()
+        self._sd = set()
+        self._by_node = {}
+        self._last_touch = {}
+        self._sc_by_abs = {}
+
+        for index, message in enumerate(messages):
+            for relation in message.touched_relations():
+                key = (message.source, relation)
+                previous = self._last_touch.get(key)
+                if previous is not None:
+                    self._add_edge(previous, index, _SD)
+                self._last_touch[key] = index
+            if message.is_schema_change:
+                self._sc_by_abs[index] = message
+
+        for sc_abs, sc_message in self._sc_by_abs.items():
+            change = sc_message.payload
+            assert isinstance(change, SchemaChange)
+            for other_abs, other in enumerate(messages):
+                if other_abs == sc_abs:
+                    continue
+                if self.cache.footprint(other, self._resolver).conflicted_by(
+                    sc_message.source, change, self._resolver
+                ):
+                    self._add_edge(sc_abs, other_abs, _CD)
+
+        self.rebuilds += 1
+        if self._metrics is not None:
+            self._metrics.graph_rebuilds += 1
+        self._work_full_nodes += len(messages)
+        self._work_full_edges += self.edge_count
+
+    # ------------------------------------------------------------------
+    # UMQ listener protocol
+    # ------------------------------------------------------------------
+
+    def umq_received(self, message: UpdateMessage) -> None:
+        if lineage_affecting(message):
+            # The resolver gains a lineage link: every normalized
+            # footprint may change, so may every concurrent edge.
+            self._rebuild(clear_cache=True)
+            return
+        absolute = self._offset + len(self._messages)
+        self._messages.append(message)
+        self.incremental_updates += 1
+        if self._metrics is not None:
+            self._metrics.incremental_graph_updates += 1
+        self._work_inc_nodes += 1
+
+        for relation in message.touched_relations():
+            key = (message.source, relation)
+            previous = self._last_touch.get(key)
+            if previous is not None and previous >= self._offset:
+                self._add_edge(previous, absolute, _SD)
+            self._last_touch[key] = absolute
+
+        if message.is_schema_change:
+            self._receive_schema_change(message, absolute)
+        else:
+            # O(m): only the queued schema changes can depend on a DU.
+            footprint = self.cache.footprint(message, self._resolver)
+            for sc_abs, sc_message in self._sc_by_abs.items():
+                self._work_inc_edges += 1
+                if footprint.conflicted_by(
+                    sc_message.source, sc_message.payload, self._resolver
+                ):
+                    self._add_edge(sc_abs, absolute, _CD)
+
+    def _receive_schema_change(
+        self, message: UpdateMessage, absolute: int
+    ) -> None:
+        """O(n) sweep for a new (non-lineage) schema change.
+
+        The arrival's source commit may have drifted the source schemas
+        that speculative rewrites consult, so every edge whose dependent
+        endpoint is a schema change is dropped and re-tested against a
+        fresh footprint (the epoch already cleared the cache).
+        """
+        for sc_abs in self._sc_by_abs:
+            for before, after, kind in list(
+                self._by_node.get(sc_abs, ())
+            ):
+                if kind is _CD and after == sc_abs:
+                    self._drop_edge(before, after, kind)
+        change = message.payload
+        assert isinstance(change, SchemaChange)
+        # New SC against every queued footprint (O(n))...
+        for position, other in enumerate(self._messages[:-1]):
+            other_abs = self._offset + position
+            self._work_inc_edges += 1
+            if self.cache.footprint(other, self._resolver).conflicted_by(
+                message.source, change, self._resolver
+            ):
+                self._add_edge(absolute, other_abs, _CD)
+        # ...every queued SC against the new footprint (O(m))...
+        footprint = self.cache.footprint(message, self._resolver)
+        for sc_abs, sc_message in self._sc_by_abs.items():
+            self._work_inc_edges += 1
+            if footprint.conflicted_by(
+                sc_message.source, sc_message.payload, self._resolver
+            ):
+                self._add_edge(sc_abs, absolute, _CD)
+        # ...and the queued-SC pairs re-tested with fresh footprints
+        # (O(m^2)).
+        for target_abs, target_sc in self._sc_by_abs.items():
+            target_footprint = self.cache.footprint(
+                target_sc, self._resolver
+            )
+            for source_abs, source_sc in self._sc_by_abs.items():
+                if source_abs == target_abs:
+                    continue
+                self._work_inc_edges += 1
+                if target_footprint.conflicted_by(
+                    source_sc.source, source_sc.payload, self._resolver
+                ):
+                    self._add_edge(source_abs, target_abs, _CD)
+        self._sc_by_abs[absolute] = message
+
+    def umq_removed_head(self, unit: MaintenanceUnit) -> None:
+        if unit.has_schema_change:
+            # The unit's maintenance may have rewritten the view
+            # definition(s): every footprint may change.  The epoch
+            # check inside the cache spots the version bump; lineage
+            # departures additionally change the resolver.
+            for message in unit:
+                self.cache.discard(message)
+            self._rebuild(
+                clear_cache=any(
+                    lineage_affecting(message) for message in unit
+                )
+            )
+            return
+        removed = len(unit.messages)
+        for message in unit:
+            self.cache.discard(message)
+        dropped = 0
+        for position in range(removed):
+            dropped += self._drop_node(self._offset + position)
+        del self._messages[:removed]
+        self._offset += removed
+        # Stale last-touch entries (pointing at removed indices) are
+        # dropped lazily by the `>= offset` guard in umq_received.
+        self.incremental_updates += 1
+        if self._metrics is not None:
+            self._metrics.incremental_graph_updates += 1
+        self._work_inc_nodes += removed
+        self._work_inc_edges += dropped
+
+    def umq_reordered(self, units: list[MaintenanceUnit]) -> None:
+        if self._lineage_count:
+            # Rename chains make the resolver order-dependent; a
+            # reorder can change every normalized footprint.
+            self._rebuild(clear_cache=True)
+            return
+        new_messages = [
+            message for unit in units for message in unit
+        ]
+        new_abs = {
+            id(message): index
+            for index, message in enumerate(new_messages)
+        }
+        old_abs_to_new = {
+            self._offset + position: new_abs[id(message)]
+            for position, message in enumerate(self._messages)
+        }
+        remapped_cd = {
+            (old_abs_to_new[before], old_abs_to_new[after])
+            for before, after in self._cd
+        }
+        self._messages = new_messages
+        self._offset = 0
+        self._cd = remapped_cd
+        self._sd = set()
+        self._by_node = {}
+        self._last_touch = {}
+        self._sc_by_abs = {}
+        for before, after in remapped_cd:
+            record = (before, after, _CD)
+            self._by_node.setdefault(before, set()).add(record)
+            self._by_node.setdefault(after, set()).add(record)
+        # Semantic edges are order-dependent: recompute (O(n)).
+        for index, message in enumerate(new_messages):
+            for relation in message.touched_relations():
+                key = (message.source, relation)
+                previous = self._last_touch.get(key)
+                if previous is not None:
+                    self._add_edge(previous, index, _SD)
+                self._last_touch[key] = index
+            if message.is_schema_change:
+                self._sc_by_abs[index] = message
+        self.incremental_updates += 1
+        if self._metrics is not None:
+            self._metrics.incremental_graph_updates += 1
+        self._work_inc_nodes += len(new_messages)
+        self._work_inc_edges += len(remapped_cd)

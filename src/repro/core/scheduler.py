@@ -38,6 +38,7 @@ from ..views.umq import MaintenanceUnit
 from .anomalies import AnomalyType
 from .correction import CorrectionResult, correct, merge_all
 from .dependencies import NameResolver, find_dependencies, footprint_of_update
+from .incremental import IncrementalDependencyGraph
 from .strategies import PESSIMISTIC, BrokenQueryPolicy, Strategy
 
 #: fallback quarantine length when neither the failure nor the retry
@@ -73,8 +74,9 @@ class SchedulerStats:
     )
     #: quarantined sources brought back into service
     resumed_sources: int = 0
-    #: maintenance units demoted behind the active queue because they
-    #: depend on a quarantined source (cumulative over deferral rounds)
+    #: maintenance units newly parked behind the active queue because
+    #: they depend on a quarantined source (each unit counted once per
+    #: stay in the deferred set, not once per deferral round)
     deferred_units: int = 0
 
 
@@ -87,6 +89,7 @@ class DynoScheduler:
         strategy: Strategy = PESSIMISTIC,
         max_iterations: int = 1_000_000,
         defer_du_interval: float | None = None,
+        incremental_detection: bool = True,
     ) -> None:
         """``defer_du_interval`` enables *deferred* data-update
         maintenance (Colby et al. [5] in the paper's related work): pure
@@ -95,6 +98,12 @@ class DynoScheduler:
         refreshes, trading staleness for refresh cost.  Schema changes
         are never deferred: the moment one is queued, ordinary Dyno
         processing takes over.
+
+        ``incremental_detection`` maintains the dependency graph and the
+        footprint cache alongside the UMQ so each detection round costs
+        what *changed* since the last round, not the queue size; pass
+        ``False`` to rebuild from scratch every round (the paper's
+        original cost profile, kept for ablation).
         """
         self.manager = manager
         self.strategy = strategy
@@ -107,6 +116,27 @@ class DynoScheduler:
         )
         #: quarantined sources: name -> virtual time to probe again
         self._quarantined: dict[str, float] = {}
+        #: unit ids already counted in ``stats.deferred_units`` for the
+        #: current outage (cleared when the deferred set empties)
+        self._counted_deferred_ids: set[int] = set()
+        self.substrate: IncrementalDependencyGraph | None = None
+        if incremental_detection:
+            self.substrate = IncrementalDependencyGraph(
+                self.umq,
+                view_queries=lambda: self.manager.maintenance_queries,
+                rewritten_query=self._speculative_rewrite,
+                epoch=lambda: (
+                    self.manager.detection_epoch,
+                    self.umq.received_schema_changes,
+                ),
+                metrics=self.manager.metrics,
+            )
+
+    def detach(self) -> None:
+        """Unhook the substrate's UMQ listener (when this scheduler is
+        replaced by another on the same queue)."""
+        if self.substrate is not None:
+            self.substrate.detach()
 
     # ------------------------------------------------------------------
     # helpers
@@ -133,6 +163,24 @@ class DynoScheduler:
     # detection + correction round
     # ------------------------------------------------------------------
 
+    def _detection_work_cost(self, nodes: int, edges: int) -> float:
+        """Virtual time for this round's detection work.
+
+        With the incremental substrate, charge the work it actually
+        performed since the last round (full-rate for rebuild fallbacks,
+        incremental-rate for cached/remap work); without it, charge a
+        from-scratch build over the whole graph.
+        """
+        cost = self.manager.cost
+        if self.substrate is None:
+            return cost.detection(nodes, edges)
+        full_nodes, full_edges, inc_nodes, inc_edges = (
+            self.substrate.consume_work()
+        )
+        return cost.detection(full_nodes, full_edges) + (
+            cost.detection_incremental(inc_nodes, inc_edges)
+        )
+
     def detect_and_correct(self) -> CorrectionResult:
         """Lines 4-5 of Figure 6: build the graph, fix the order."""
         messages = self.umq.messages()
@@ -140,6 +188,11 @@ class DynoScheduler:
             messages,
             self.manager.maintenance_queries,
             rewritten_query=self._speculative_rewrite,
+            detection=(
+                self.substrate.detection()
+                if self.substrate is not None
+                else None
+            ),
         )
         # Install the corrected order before charging the detection
         # delay: commits firing inside the delay window must append
@@ -147,7 +200,7 @@ class DynoScheduler:
         self.umq.replace_order(result.units)
         cost = self.manager.cost
         self._charge(
-            cost.detection(result.node_count, result.edge_count)
+            self._detection_work_cost(result.node_count, result.edge_count)
             + cost.correction(result.node_count, result.edge_count),
             "detection",
         )
@@ -166,7 +219,13 @@ class DynoScheduler:
 
     def _merge_whole_queue(self) -> None:
         result = merge_all(
-            self.umq.messages(), self.manager.maintenance_queries
+            self.umq.messages(),
+            self.manager.maintenance_queries,
+            detection=(
+                self.substrate.detection()
+                if self.substrate is not None
+                else None
+            ),
         )
         # Install before charging: commits firing inside the charge
         # window must append behind the merged order, not invalidate it
@@ -261,6 +320,10 @@ class DynoScheduler:
                 self.engine.tracer.record(
                     now, trace_kinds.RESUME, source
                 )
+        if not self._quarantined:
+            # The outage is over: the next outage counts its deferred
+            # units afresh.
+            self._counted_deferred_ids.clear()
 
     def _deferred_unit_indices(self) -> tuple[set[int], int, int]:
         """Units that must wait for a quarantined source to recover.
@@ -280,25 +343,38 @@ class DynoScheduler:
             for message in unit:
                 messages.append(message)
                 unit_of.append(unit_index)
-        resolver = NameResolver(messages)
-        deferred: set[int] = set()
-        for index, message in enumerate(messages):
-            footprint = footprint_of_update(
-                message,
+        if self.substrate is not None:
+            # Footprints and dependencies are served from the live
+            # substrate: one cached lookup per message instead of a
+            # full recomputation per deferral pass.
+            footprints = [
+                self.substrate.footprint_at(index)
+                for index in range(len(messages))
+            ]
+            dependencies = self.substrate.dependencies()
+        else:
+            resolver = NameResolver(messages)
+            footprints = [
+                footprint_of_update(
+                    message,
+                    self.manager.maintenance_queries,
+                    self._speculative_rewrite,
+                    resolver,
+                )
+                for message in messages
+            ]
+            dependencies = find_dependencies(
+                messages,
                 self.manager.maintenance_queries,
-                self._speculative_rewrite,
-                resolver,
+                rewritten_query=self._speculative_rewrite,
             )
+        deferred: set[int] = set()
+        for index, footprint in enumerate(footprints):
             if any(
                 source in self._quarantined
                 for source, _relation in footprint.relations
             ):
                 deferred.add(unit_of[index])
-        dependencies = find_dependencies(
-            messages,
-            self.manager.maintenance_queries,
-            rewritten_query=self._speculative_rewrite,
-        )
         changed = True
         while changed:
             changed = False
@@ -314,13 +390,27 @@ class DynoScheduler:
         """Move quarantine-independent units ahead of deferred ones.
 
         Returns False when *every* queued unit depends on a quarantined
-        source — nothing is runnable until recovery.
+        source — nothing is runnable until recovery.  Every pass builds
+        (or consults) the dependency graph, so every pass charges
+        detection time and counts a graph build — detection work is
+        never free virtual time, demotion or not.
         """
         deferred, nodes, edges = self._deferred_unit_indices()
+        self.manager.metrics.graph_builds += 1
+        detection_cost = self._detection_work_cost(nodes, edges)
+        if self.substrate is not None:
+            # The pass itself sweeps cached footprints and propagates
+            # deferral along the edges: incremental-rate work.
+            detection_cost += self.manager.cost.detection_incremental(
+                nodes, edges
+            )
         if not deferred:
+            self._counted_deferred_ids.clear()
+            self._charge(detection_cost, "detection")
             return True
         units = list(self.umq.units)
         if len(deferred) == len(units):
+            self._charge(detection_cost, "detection")
             return False
         active = [
             unit
@@ -338,11 +428,15 @@ class DynoScheduler:
             # charge window must append behind it, as in
             # detect_and_correct).
             self.umq.replace_order(active + held)
-            self.stats.deferred_units += len(held)
-            self.manager.metrics.graph_builds += 1
-            self._charge(
-                self.manager.cost.detection(nodes, edges), "detection"
-            )
+        # Count each unit once per stay in the deferred set, not once
+        # per deferral round: one long outage must not inflate the
+        # counter by held-count x rounds.
+        held_ids = {id(unit) for unit in held}
+        self.stats.deferred_units += len(
+            held_ids - self._counted_deferred_ids
+        )
+        self._counted_deferred_ids = held_ids
+        self._charge(detection_cost, "detection")
         return True
 
     def _wait_for_recovery(self) -> None:
@@ -462,7 +556,14 @@ class DynoScheduler:
         messages = self.umq.messages()
         if len(messages) > 1:
             self.umq.replace_order([MaintenanceUnit(list(messages))])
-        self._next_deferred_refresh = now + self.defer_du_interval
+        # Schedule off the previous deadline, not off ``now``: anchoring
+        # to the deadline keeps the cadence the constructor promised
+        # even when a batch's maintenance (or an idle stretch) overruns
+        # it.  Skip whole intervals already in the past.
+        deadline = self._next_deferred_refresh + self.defer_du_interval
+        while deadline <= now:
+            deadline += self.defer_du_interval
+        self._next_deferred_refresh = deadline
         return False  # fall through and maintain the coalesced batch
 
     def run(self) -> SchedulerStats:

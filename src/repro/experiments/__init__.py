@@ -1,6 +1,10 @@
 """Experiment harnesses reproducing the paper's evaluation (Section 6)."""
 
-from .ablations import run_blind_merge_ablation, run_graph_scaling_ablation
+from .ablations import (
+    run_blind_merge_ablation,
+    run_graph_scaling_ablation,
+    run_incremental_detection_ablation,
+)
 from .fig08 import run_figure as run_fig08
 from .fig09 import run_figure as run_fig09
 from .fig10 import run_figure as run_fig10
@@ -22,5 +26,6 @@ __all__ = [
     "run_fig11",
     "run_fig12",
     "run_graph_scaling_ablation",
+    "run_incremental_detection_ablation",
     "run_starvation_study",
 ]

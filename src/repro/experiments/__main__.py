@@ -24,6 +24,7 @@ from . import (
     run_fig11,
     run_fig12,
     run_graph_scaling_ablation,
+    run_incremental_detection_ablation,
     run_starvation_study,
 )
 from .fig08 import QUICK_DU_COUNTS as FIG8_QUICK
@@ -60,6 +61,11 @@ def _runners(full: bool) -> dict:
             **({} if full else {"du_count": 60}),
         ),
         "abl-graph-scaling": lambda: run_graph_scaling_ablation(),
+        "abl-incremental-detection": lambda: (
+            run_incremental_detection_ablation(
+                **({} if full else {"sizes": (50, 100, 200)})
+            )
+        ),
         "abl-starvation": lambda: run_starvation_study(
             tuples_per_relation=min(tuples, 1000),
         ),

@@ -9,6 +9,7 @@ fall), recorded per figure in ``EXPERIMENTS.md``.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -68,6 +69,25 @@ class FigureResult:
         if not self.consistent:
             lines.append("WARNING: a run failed the convergence check")
         return "\n".join(lines)
+
+    def to_json(self, indent: int = 2) -> str:
+        """The figure as a machine-readable JSON document (the CI
+        artifact format; stable keys, points in series order)."""
+        return json.dumps(
+            {
+                "figure_id": self.figure_id,
+                "title": self.title,
+                "x_label": self.x_label,
+                "series_names": list(self.series_names),
+                "points": [
+                    {"x": point.x, "values": point.values}
+                    for point in self.points
+                ],
+                "notes": list(self.notes),
+                "consistent": self.consistent,
+            },
+            indent=indent,
+        )
 
     def print(self) -> None:  # pragma: no cover - console convenience
         print(self.table())

@@ -52,6 +52,12 @@ class CostModel:
     detection_per_node: float = 0.0001
     #: building/classifying one dependency edge
     detection_per_edge: float = 0.0001
+    #: incremental substrate: touching one node (cached footprint
+    #: lookup / index remap) instead of building it from scratch
+    detection_incremental_per_node: float = 0.00002
+    #: incremental substrate: one conflict test / edge remap against
+    #: cached footprints
+    detection_incremental_per_edge: float = 0.00002
     #: topological sort / cycle merge, per node + edge
     correction_per_element: float = 0.0001
 
@@ -86,6 +92,14 @@ class CostModel:
     def detection(self, nodes: int, edges: int) -> float:
         return (
             nodes * self.detection_per_node + edges * self.detection_per_edge
+        )
+
+    def detection_incremental(self, nodes: int, edges: int) -> float:
+        """Detection work served by the incremental substrate (cached
+        footprints, index remaps) rather than a from-scratch build."""
+        return (
+            nodes * self.detection_incremental_per_node
+            + edges * self.detection_incremental_per_edge
         )
 
     def correction(self, nodes: int, edges: int) -> float:
@@ -140,5 +154,7 @@ class CostModel:
             detection_flag_check=0.0,
             detection_per_node=0.0,
             detection_per_edge=0.0,
+            detection_incremental_per_node=0.0,
+            detection_incremental_per_edge=0.0,
             correction_per_element=0.0,
         )

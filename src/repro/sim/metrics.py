@@ -33,6 +33,14 @@ class Metrics:
     detection_rounds: int = 0
     #: number of dependency-graph builds
     graph_builds: int = 0
+    #: from-scratch rebuild fallbacks inside the incremental substrate
+    graph_rebuilds: int = 0
+    #: incremental graph updates (node adds, head removals, remaps)
+    incremental_graph_updates: int = 0
+    #: footprint-cache hits (footprints served without recomputation)
+    footprint_cache_hits: int = 0
+    #: footprint-cache misses (footprints computed and cached)
+    footprint_cache_misses: int = 0
     #: number of cycle merges performed during correction
     cycle_merges: int = 0
     #: tuples written into the view (net traffic)
@@ -76,6 +84,10 @@ class Metrics:
             "view_refreshes": self.view_refreshes,
             "detection_rounds": self.detection_rounds,
             "graph_builds": self.graph_builds,
+            "graph_rebuilds": self.graph_rebuilds,
+            "incremental_graph_updates": self.incremental_graph_updates,
+            "footprint_cache_hits": self.footprint_cache_hits,
+            "footprint_cache_misses": self.footprint_cache_misses,
             "cycle_merges": self.cycle_merges,
             "transient_failures": self.transient_failures,
             "retries": self.retries,

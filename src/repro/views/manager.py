@@ -184,6 +184,16 @@ class ViewManager:
         """The view queries dependency detection must consider."""
         return (self.view.query,)
 
+    @property
+    def detection_epoch(self) -> tuple:
+        """Version key for cached detection metadata.
+
+        Bumps whenever a committed (or speculatively installed) schema
+        rewrite changes the view definition; cached maintenance
+        footprints are valid only within one epoch.
+        """
+        return (self.view.version,)
+
     def speculative_queries(self, message) -> tuple:
         """What the view queries would look like after this schema
         change — VS is pure, so we can ask without committing."""

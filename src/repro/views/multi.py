@@ -104,6 +104,11 @@ class MultiViewManager:
     def maintenance_queries(self) -> tuple[SPJQuery, ...]:
         return tuple(manager.view.query for manager in self.managers)
 
+    @property
+    def detection_epoch(self) -> tuple:
+        """Version key for cached detection metadata (all views)."""
+        return tuple(manager.view.version for manager in self.managers)
+
     def speculative_queries(
         self, message: UpdateMessage
     ) -> tuple[SPJQuery, ...]:

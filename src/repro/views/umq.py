@@ -11,13 +11,21 @@ The UMQ also owns the ``NewSchemaChangeFlag`` of Figure 6/7: the
 UMQ-manager side sets it when a schema change arrives, and the Dyno loop
 atomically tests-and-clears it to decide whether detection can be
 skipped.
+
+Hot-path layout: the unit store is a deque (O(1) ``remove_head``), the
+flat message list is cached and patched on mutation instead of being
+rebuilt per call, and ``position_of``/``messages_behind`` resolve
+through identity maps plus a monotone base offset instead of scanning.
+Observers (the incremental detection substrate) register as *mutation
+listeners* and are notified after every structural change.
 """
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from itertools import islice
+from typing import Iterable, Iterator, Protocol
 
 from ..relational.errors import ReproError
 from ..sources.messages import UpdateMessage
@@ -73,13 +81,50 @@ class MaintenanceUnit:
         return iter(self.messages)
 
 
+class UMQListener(Protocol):
+    """Observer of UMQ structural mutations (notified *after* each)."""
+
+    def umq_received(self, message: UpdateMessage) -> None: ...
+
+    def umq_removed_head(self, unit: MaintenanceUnit) -> None: ...
+
+    def umq_reordered(self, units: list[MaintenanceUnit]) -> None: ...
+
+
 class UpdateMessageQueue:
     """FIFO of maintenance units with reorder support."""
 
     def __init__(self) -> None:
-        self._units: list[MaintenanceUnit] = []
+        self._units: deque[MaintenanceUnit] = deque()
         self.new_schema_change_flag = False
         self.received_messages = 0
+        #: schema-change messages ever received (monotone; part of the
+        #: footprint-cache epoch — source schemas only drift when an SC
+        #: commits, and every committed SC passes through here)
+        self.received_schema_changes = 0
+        self._listeners: list[UMQListener] = []
+        # -- O(1) lookup bookkeeping -----------------------------------
+        #: flat message list, patched incrementally (None = rebuild)
+        self._messages_cache: list[UpdateMessage] | None = []
+        #: id(unit) -> absolute position (monotone; queue index =
+        #: absolute - base)
+        self._unit_pos: dict[int, int] = {}
+        #: id(message) -> owning unit
+        self._owner: dict[int, MaintenanceUnit] = {}
+        #: absolute position of the current head
+        self._base = 0
+
+    # ------------------------------------------------------------------
+    # listeners
+    # ------------------------------------------------------------------
+
+    def add_listener(self, listener: UMQListener) -> None:
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: UMQListener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     # ------------------------------------------------------------------
     # UMQ manager side (Figure 7)
@@ -87,10 +132,18 @@ class UpdateMessageQueue:
 
     def receive(self, message: UpdateMessage) -> None:
         """Enqueue a newly arrived update; flag schema changes."""
-        self._units.append(MaintenanceUnit.single(message))
+        unit = MaintenanceUnit.single(message)
+        self._units.append(unit)
+        self._unit_pos[id(unit)] = self._base + len(self._units) - 1
+        self._owner[id(message)] = unit
+        if self._messages_cache is not None:
+            self._messages_cache.append(message)
         self.received_messages += 1
         if message.is_schema_change:
             self.new_schema_change_flag = True
+            self.received_schema_changes += 1
+        for listener in self._listeners:
+            listener.umq_received(message)
 
     def test_and_clear_schema_change_flag(self) -> bool:
         """The atomic ``Test_If_True_Set_False`` of Figure 6, line 1."""
@@ -113,7 +166,11 @@ class UpdateMessageQueue:
         return tuple(self._units)
 
     def messages(self) -> list[UpdateMessage]:
-        return [message for unit in self._units for message in unit]
+        if self._messages_cache is None:
+            self._messages_cache = [
+                message for unit in self._units for message in unit
+            ]
+        return list(self._messages_cache)
 
     def head(self) -> MaintenanceUnit:
         if not self._units:
@@ -123,27 +180,37 @@ class UpdateMessageQueue:
     def remove_head(self) -> MaintenanceUnit:
         if not self._units:
             raise UMQError("UMQ is empty")
-        return self._units.pop(0)
+        unit = self._units.popleft()
+        self._base += 1
+        self._unit_pos.pop(id(unit), None)
+        for message in unit:
+            self._owner.pop(id(message), None)
+        if self._messages_cache is not None:
+            del self._messages_cache[: len(unit)]
+        for listener in self._listeners:
+            listener.umq_removed_head(unit)
+        return unit
 
     def position_of(self, message: UpdateMessage) -> int:
-        """Queue position of the unit containing ``message``."""
-        for index, unit in enumerate(self._units):
-            if any(existing is message for existing in unit):
-                return index
-        raise UMQError(f"message not in UMQ: {message.describe()}")
+        """Queue position of the unit containing ``message`` (O(1))."""
+        unit = self._owner.get(id(message))
+        if unit is None:
+            raise UMQError(f"message not in UMQ: {message.describe()}")
+        return self._unit_pos[id(unit)] - self._base
 
     def messages_behind(
         self, unit: MaintenanceUnit
     ) -> list[UpdateMessage]:
         """All messages in units strictly after ``unit``."""
-        for index, existing in enumerate(self._units):
-            if existing is unit:
-                return [
-                    message
-                    for later in self._units[index + 1 :]
-                    for message in later
-                ]
-        raise UMQError("unit not in UMQ")
+        absolute = self._unit_pos.get(id(unit))
+        if absolute is None:
+            raise UMQError("unit not in UMQ")
+        index = absolute - self._base
+        return [
+            message
+            for later in islice(self._units, index + 1, None)
+            for message in later
+        ]
 
     def replace_order(self, units: list[MaintenanceUnit]) -> None:
         """Install a corrected order; the message multiset must match."""
@@ -155,7 +222,17 @@ class UpdateMessageQueue:
             raise UMQError(
                 "corrected order does not preserve the queued messages"
             )
-        self._units = list(units)
+        self._units = deque(units)
+        self._base = 0
+        self._messages_cache = None
+        self._unit_pos = {
+            id(unit): index for index, unit in enumerate(units)
+        }
+        self._owner = {
+            id(message): unit for unit in units for message in unit
+        }
+        for listener in self._listeners:
+            listener.umq_reordered(list(units))
 
     def __repr__(self) -> str:
         return f"UMQ({len(self._units)} units)"

@@ -10,6 +10,7 @@ from repro.views.consistency import check_convergence
 
 def loaded_testbed(defer=None, du_count=20, sc=False, seed=3):
     testbed = build_testbed(PESSIMISTIC, tuples_per_relation=40, seed=seed)
+    testbed.scheduler.detach()  # drop the default scheduler's UMQ listener
     testbed.scheduler = DynoScheduler(
         testbed.manager, PESSIMISTIC, defer_du_interval=defer
     )

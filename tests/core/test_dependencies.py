@@ -42,6 +42,29 @@ class TestFootprints:
         assert ("library", "Catalog") not in footprint.relations
         assert all(rel != "Catalog" for _s, rel, _a in footprint.attributes)
 
+    def test_dangling_alias_reference_is_skipped(self):
+        """A rewrite pipeline can hand ``footprint_of_query`` a query
+        whose predicate references an alias no longer in the FROM list
+        (SPJQuery's constructor validation is bypassed here to pin the
+        contract); the footprint must skip the dangling reference
+        instead of raising a bare KeyError."""
+        from repro.relational.predicate import Comparison, attr
+        from repro.relational.query import SPJQuery
+
+        dangling = SPJQuery.__new__(SPJQuery)
+        object.__setattr__(dangling, "relations", QUERY.relations)
+        object.__setattr__(dangling, "projection", QUERY.projection)
+        object.__setattr__(dangling, "joins", QUERY.joins)
+        object.__setattr__(
+            dangling, "selection", Comparison(attr("Z", "Ghost"), "=", 1)
+        )
+        footprint = footprint_of_query(dangling)
+        assert ("retailer", "Store") in footprint.relations
+        assert all(
+            attribute != "Ghost"
+            for _s, _r, attribute in footprint.attributes
+        )
+
     def test_du_footprint_excludes_own_relation(self):
         du = message(
             "library", 1, DataUpdate.insert(CATALOG_SCHEMA, [])
