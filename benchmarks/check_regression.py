@@ -1,0 +1,147 @@
+"""Benchmark regression guard.
+
+Compares the freshly produced ``benchmarks/results/*.json`` figures
+against the checked-in ``benchmarks/baselines/*.json`` and fails when a
+speedup series regressed beyond tolerance or a run lost its
+consistency bit.  Run by CI after the benchmark smoke steps::
+
+    python benchmarks/check_regression.py [--tolerance 0.5]
+
+Rules, per figure present in *both* directories:
+
+* every series whose name ends in ``speedup`` must stay within
+  ``tolerance`` of the baseline at every shared x (new >= old * (1 -
+  tolerance)); speedups derived from virtual time are deterministic,
+  wall-clock ones jitter — the default tolerance absorbs CI-runner
+  noise while still catching real slowdowns;
+* ``consistent`` must not flip from true to false.
+
+Figures without a baseline are reported but never fail the check (new
+benchmarks land before their baseline does); a baseline without a
+result means CI stopped producing a guarded figure, which *does* fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+RESULTS_DIR = BENCH_DIR / "results"
+BASELINES_DIR = BENCH_DIR / "baselines"
+
+
+def _load(path: Path) -> dict:
+    return json.loads(path.read_text())
+
+
+def _speedup_series(figure: dict) -> list[str]:
+    return [
+        name
+        for name in figure.get("series_names", [])
+        if name.endswith("speedup")
+    ]
+
+
+def _points_by_x(figure: dict) -> dict:
+    return {
+        point["x"]: point["values"] for point in figure.get("points", [])
+    }
+
+
+def check_figure(
+    name: str, baseline: dict, current: dict, tolerance: float
+) -> list[str]:
+    failures: list[str] = []
+    if baseline.get("consistent", True) and not current.get(
+        "consistent", True
+    ):
+        failures.append(f"{name}: consistency bit flipped to false")
+    base_points = _points_by_x(baseline)
+    current_points = _points_by_x(current)
+    for series in _speedup_series(baseline):
+        for x, base_values in base_points.items():
+            if series not in base_values:
+                continue
+            if x not in current_points or series not in current_points[x]:
+                failures.append(
+                    f"{name}: point x={x} series {series!r} disappeared"
+                )
+                continue
+            old = base_values[series]
+            new = current_points[x][series]
+            floor = old * (1.0 - tolerance)
+            if new < floor:
+                failures.append(
+                    f"{name}: {series} at x={x} regressed "
+                    f"{old:.2f} -> {new:.2f} "
+                    f"(floor {floor:.2f} at tolerance {tolerance:.0%})"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional speedup drop (default 0.5: abl-2/abl-5 "
+        "speedups are wall-clock and jitter with machine load; abl-6 is "
+        "virtual-time deterministic and would catch any real break even "
+        "at this tolerance)",
+    )
+    parser.add_argument(
+        "--results",
+        type=Path,
+        default=RESULTS_DIR,
+        help="directory of freshly produced figure JSONs",
+    )
+    parser.add_argument(
+        "--baselines",
+        type=Path,
+        default=BASELINES_DIR,
+        help="directory of checked-in baseline figure JSONs",
+    )
+    arguments = parser.parse_args(argv)
+
+    baselines = sorted(arguments.baselines.glob("*.json"))
+    if not baselines:
+        print(f"no baselines under {arguments.baselines}; nothing to check")
+        return 0
+    failures: list[str] = []
+    checked = 0
+    for baseline_path in baselines:
+        result_path = arguments.results / baseline_path.name
+        if not result_path.exists():
+            failures.append(
+                f"{baseline_path.stem}: baseline exists but CI produced "
+                f"no {result_path.name}"
+            )
+            continue
+        figure_failures = check_figure(
+            baseline_path.stem,
+            _load(baseline_path),
+            _load(result_path),
+            arguments.tolerance,
+        )
+        failures.extend(figure_failures)
+        checked += 1
+        status = "FAIL" if figure_failures else "ok"
+        print(f"{baseline_path.stem}: {status}")
+    for result_path in sorted(arguments.results.glob("*.json")):
+        if not (arguments.baselines / result_path.name).exists():
+            print(f"{result_path.stem}: no baseline (unguarded)")
+    if failures:
+        print()
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        return 1
+    print(f"{checked} figure(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ from .core import (
     DependencyGraph,
     DependencyKind,
     DynoScheduler,
+    ParallelScheduler,
     Strategy,
     correct,
     detect,
@@ -124,6 +125,7 @@ __all__ = [
     "DyDaError",
     "DyDaSystem",
     "DynoScheduler",
+    "ParallelScheduler",
     "FaultInjector",
     "FaultPlan",
     "FaultStats",

@@ -17,6 +17,7 @@ from .incremental import (
     IncrementalDependencyGraph,
     lineage_affecting,
 )
+from .parallel import ParallelScheduler
 from .scheduler import DynoScheduler, SchedulerStats
 from .strategies import (
     BLIND_MERGE,
@@ -37,6 +38,7 @@ __all__ = [
     "DependencyKind",
     "DetectionResult",
     "DynoScheduler",
+    "ParallelScheduler",
     "Footprint",
     "FootprintCache",
     "IncrementalDependencyGraph",

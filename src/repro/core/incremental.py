@@ -15,8 +15,10 @@ round instead:
 * :class:`IncrementalDependencyGraph` mirrors the UMQ through its
   mutation-listener hooks: ``receive`` adds one node and only the edges
   touching the new message (O(m) conflict tests for a DU, O(n) for a
-  schema change), ``remove_head`` drops the head node and remaps
-  indices, ``replace_order`` remaps indices and recomputes only the
+  schema change), ``remove_head``/``remove_unit`` drop the departing
+  nodes and splice the per-relation semantic chains around the gap (the
+  parallel executor removes units from *any* position at dispatch), and
+  ``replace_order`` remaps indices and recomputes only the
   (order-dependent) semantic edges.  A from-scratch rebuild — identical
   to :func:`~repro.core.dependencies.find_dependencies` and kept as the
   property-test oracle — remains the fallback for the cases incremental
@@ -28,7 +30,10 @@ round instead:
   - a unit containing any schema change is removed from the head: its
     maintenance may have rewritten the view definition(s), so every
     footprint may change (the epoch catches the version bump and the
-    rebuild re-derives the edges).
+    rebuild re-derives the edges).  Mid-queue removal at *dispatch* time
+    precedes the rewrite, so it only drops nodes; the scheduler calls
+    :meth:`IncrementalDependencyGraph.rebuild` once the unit's rewrite
+    actually commits.
 
   One subtlety: a schema change *committing at its source* can drift the
   source schemas that speculative rewrites consult, which can silently
@@ -37,6 +42,12 @@ round instead:
   all concurrent edges whose dependent endpoint is a schema change —
   O(m^2) conflict tests — while data-update footprints, which never
   consult source schemas, stay cached.
+
+The substrate also answers the parallel executor's scheduling questions
+(Definition 7 / Theorem 2: *any* topological order is legal, so units
+with no path between them may run concurrently): :meth:`ready_units`
+returns the antichain of units with no unfinished predecessor still in
+the queue, and :meth:`unit_successors` the units a given unit blocks.
 """
 
 from __future__ import annotations
@@ -151,9 +162,13 @@ class IncrementalDependencyGraph:
 
     Registers as a mutation listener on the queue and keeps a mirror of
     the flattened message list plus the CD/SD edge sets, in *absolute*
-    indices (a monotone offset absorbs head removals so ``remove_head``
-    never renumbers surviving edges).  ``dependencies()`` exposes the
-    edges in current queue positions, bit-identical to a from-scratch
+    node ids (``self._order`` lists the live ids in queue order, so
+    removals anywhere never renumber surviving edges).  Semantic edges
+    are derived from per-``(source, relation)`` touch chains, which lets
+    a mid-queue departure splice its chain neighbours back together —
+    exactly what a from-scratch build over the surviving messages would
+    produce.  ``dependencies()`` exposes the edges in current queue
+    positions, bit-identical to a from-scratch
     :func:`~repro.core.dependencies.find_dependencies` over the same
     messages.
     """
@@ -173,15 +188,22 @@ class IncrementalDependencyGraph:
         self.cache = FootprintCache(
             view_queries, rewritten_query, epoch, metrics
         )
-        self._messages: list[UpdateMessage] = []
-        self._offset = 0
+        #: live absolute node ids in queue order
+        self._order: list[int] = []
+        #: absolute id -> message
+        self._message_of: dict[int, UpdateMessage] = {}
+        #: next absolute id handed to an arrival
+        self._next_abs = 0
+        #: lazy absolute id -> queue position map
+        self._pos: dict[int, int] | None = None
         self._resolver = NameResolver([])
         self._lineage_count = 0
         #: absolute-index edges and the incident-edge registry
         self._cd: set[tuple[int, int]] = set()
         self._sd: set[tuple[int, int]] = set()
         self._by_node: dict[int, set[tuple[int, int, DependencyKind]]] = {}
-        self._last_touch: dict[tuple[str, str], int] = {}
+        #: (source, relation) -> absolute ids touching it, queue order
+        self._chains: dict[tuple[str, str], list[int]] = {}
         self._sc_by_abs: dict[int, UpdateMessage] = {}
         # -- counters ---------------------------------------------------
         self.rebuilds = 0
@@ -200,7 +222,18 @@ class IncrementalDependencyGraph:
     # ------------------------------------------------------------------
 
     def detach(self) -> None:
+        """Unhook from the UMQ (when this substrate is replaced)."""
         self._umq.remove_listener(self)
+
+    def rebuild(self) -> None:
+        """Force a from-scratch rebuild.
+
+        The parallel executor removes an SC-bearing unit from the queue
+        at *dispatch* (before its maintenance runs) and calls this once
+        the unit's view rewrite commits: by then every cached footprint
+        and every concurrent edge may be stale.
+        """
+        self._rebuild(clear_cache=True)
 
     # ------------------------------------------------------------------
     # public views
@@ -208,21 +241,29 @@ class IncrementalDependencyGraph:
 
     @property
     def node_count(self) -> int:
-        return len(self._messages)
+        return len(self._order)
 
     @property
     def edge_count(self) -> int:
         return len(self._cd) + len(self._sd)
 
+    def _positions(self) -> dict[int, int]:
+        if self._pos is None:
+            self._pos = {
+                absolute: position
+                for position, absolute in enumerate(self._order)
+            }
+        return self._pos
+
     def dependencies(self) -> list[Dependency]:
         """Edges in current queue positions (Definition 6 indices)."""
-        offset = self._offset
+        position_of = self._positions()
         edges = [
-            Dependency(before - offset, after - offset, _SD)
+            Dependency(position_of[before], position_of[after], _SD)
             for before, after in self._sd
         ]
         edges.extend(
-            Dependency(before - offset, after - offset, _CD)
+            Dependency(position_of[before], position_of[after], _CD)
             for before, after in self._cd
         )
         return edges
@@ -235,7 +276,9 @@ class IncrementalDependencyGraph:
     def footprint_at(self, index: int) -> Footprint:
         """Cached normalized footprint of the message at queue position
         ``index``."""
-        return self.cache.footprint(self._messages[index], self._resolver)
+        return self.cache.footprint(
+            self._message_of[self._order[index]], self._resolver
+        )
 
     @property
     def resolver(self) -> NameResolver:
@@ -261,6 +304,50 @@ class IncrementalDependencyGraph:
         self._work_inc_nodes = 0
         self._work_inc_edges = 0
         return drained
+
+    # ------------------------------------------------------------------
+    # unit-level scheduling API (the parallel executor's questions)
+    # ------------------------------------------------------------------
+
+    def unit_dependencies(self) -> set[tuple[int, int]]:
+        """Inter-unit ``(before_unit, after_unit)`` index pairs.
+
+        A message-level edge between two messages of the *same* unit is
+        internal (the unit is maintained atomically) and dropped.
+        """
+        unit_of: list[int] = []
+        for unit_index, unit in enumerate(self._umq.units):
+            unit_of.extend([unit_index] * len(unit))
+        pairs: set[tuple[int, int]] = set()
+        for dependency in self.dependencies():
+            before = unit_of[dependency.before_index]
+            after = unit_of[dependency.after_index]
+            if before != after:
+                pairs.add((before, after))
+        return pairs
+
+    def ready_units(self) -> list[int]:
+        """Queue indices of units with no queued predecessor.
+
+        These form an antichain of the unit dependency DAG: Theorem 2
+        licenses maintaining them in any order, hence concurrently.
+        Predecessors that already *left* the queue are the scheduler's
+        to gate (it knows which are still running).
+        """
+        blocked = {after for _before, after in self.unit_dependencies()}
+        return [
+            index
+            for index in range(len(self._umq.units))
+            if index not in blocked
+        ]
+
+    def unit_successors(self, index: int) -> set[int]:
+        """Unit indices that must wait for unit ``index`` to finish."""
+        return {
+            after
+            for before, after in self.unit_dependencies()
+            if before == index
+        }
 
     # ------------------------------------------------------------------
     # edge bookkeeping (absolute indices)
@@ -305,6 +392,31 @@ class IncrementalDependencyGraph:
                     del self._by_node[other]
         return len(incident)
 
+    def _splice_chain(self, key: tuple[str, str], absolute: int) -> None:
+        """Remove ``absolute`` from a touch chain, relinking neighbours.
+
+        Dropping a mid-chain node turns its predecessor and successor
+        into *consecutive* touches, which a from-scratch build would
+        connect with a semantic edge — so we do too.
+        """
+        chain = self._chains.get(key)
+        if chain is None:
+            return
+        position = chain.index(absolute)
+        previous = chain[position - 1] if position > 0 else None
+        following = (
+            chain[position + 1] if position + 1 < len(chain) else None
+        )
+        if previous is not None:
+            self._drop_edge(previous, absolute, _SD)
+        if following is not None:
+            self._drop_edge(absolute, following, _SD)
+        if previous is not None and following is not None:
+            self._add_edge(previous, following, _SD)
+        del chain[position]
+        if not chain:
+            del self._chains[key]
+
     # ------------------------------------------------------------------
     # from-scratch rebuild (the fallback and the oracle's twin)
     # ------------------------------------------------------------------
@@ -319,8 +431,10 @@ class IncrementalDependencyGraph:
         if clear_cache:
             self.cache.clear()
         messages = self._umq.messages()
-        self._messages = messages
-        self._offset = 0
+        self._order = list(range(len(messages)))
+        self._message_of = dict(enumerate(messages))
+        self._next_abs = len(messages)
+        self._pos = None
         self._resolver = NameResolver(messages)
         self._lineage_count = sum(
             1 for message in messages if lineage_affecting(message)
@@ -328,16 +442,17 @@ class IncrementalDependencyGraph:
         self._cd = set()
         self._sd = set()
         self._by_node = {}
-        self._last_touch = {}
+        self._chains = {}
         self._sc_by_abs = {}
 
         for index, message in enumerate(messages):
             for relation in message.touched_relations():
-                key = (message.source, relation)
-                previous = self._last_touch.get(key)
-                if previous is not None:
-                    self._add_edge(previous, index, _SD)
-                self._last_touch[key] = index
+                chain = self._chains.setdefault(
+                    (message.source, relation), []
+                )
+                if chain:
+                    self._add_edge(chain[-1], index, _SD)
+                chain.append(index)
             if message.is_schema_change:
                 self._sc_by_abs[index] = message
 
@@ -368,19 +483,24 @@ class IncrementalDependencyGraph:
             # footprint may change, so may every concurrent edge.
             self._rebuild(clear_cache=True)
             return
-        absolute = self._offset + len(self._messages)
-        self._messages.append(message)
+        absolute = self._next_abs
+        self._next_abs += 1
+        self._order.append(absolute)
+        self._message_of[absolute] = message
+        if self._pos is not None:
+            self._pos[absolute] = len(self._order) - 1
         self.incremental_updates += 1
         if self._metrics is not None:
             self._metrics.incremental_graph_updates += 1
         self._work_inc_nodes += 1
 
         for relation in message.touched_relations():
-            key = (message.source, relation)
-            previous = self._last_touch.get(key)
-            if previous is not None and previous >= self._offset:
-                self._add_edge(previous, absolute, _SD)
-            self._last_touch[key] = absolute
+            chain = self._chains.setdefault(
+                (message.source, relation), []
+            )
+            if chain:
+                self._add_edge(chain[-1], absolute, _SD)
+            chain.append(absolute)
 
         if message.is_schema_change:
             self._receive_schema_change(message, absolute)
@@ -413,8 +533,8 @@ class IncrementalDependencyGraph:
         change = message.payload
         assert isinstance(change, SchemaChange)
         # New SC against every queued footprint (O(n))...
-        for position, other in enumerate(self._messages[:-1]):
-            other_abs = self._offset + position
+        for other_abs in self._order[:-1]:
+            other = self._message_of[other_abs]
             self._work_inc_edges += 1
             if self.cache.footprint(other, self._resolver).conflicted_by(
                 message.source, change, self._resolver
@@ -444,6 +564,25 @@ class IncrementalDependencyGraph:
                     self._add_edge(source_abs, target_abs, _CD)
         self._sc_by_abs[absolute] = message
 
+    def _remove_span(self, index: int, count: int) -> None:
+        """Drop the ``count`` nodes at queue positions ``index``.. and
+        splice their chains; O(deg + chain length) per node."""
+        dropped = 0
+        removed = self._order[index : index + count]
+        for absolute in removed:
+            message = self._message_of.pop(absolute)
+            for relation in message.touched_relations():
+                self._splice_chain((message.source, relation), absolute)
+            dropped += self._drop_node(absolute)
+            self._sc_by_abs.pop(absolute, None)
+        del self._order[index : index + count]
+        self._pos = None
+        self.incremental_updates += 1
+        if self._metrics is not None:
+            self._metrics.incremental_graph_updates += 1
+        self._work_inc_nodes += count
+        self._work_inc_edges += dropped
+
     def umq_removed_head(self, unit: MaintenanceUnit) -> None:
         if unit.has_schema_change:
             # The unit's maintenance may have rewritten the view
@@ -458,21 +597,43 @@ class IncrementalDependencyGraph:
                 )
             )
             return
-        removed = len(unit.messages)
         for message in unit:
             self.cache.discard(message)
-        dropped = 0
-        for position in range(removed):
-            dropped += self._drop_node(self._offset + position)
-        del self._messages[:removed]
-        self._offset += removed
-        # Stale last-touch entries (pointing at removed indices) are
-        # dropped lazily by the `>= offset` guard in umq_received.
-        self.incremental_updates += 1
-        if self._metrics is not None:
-            self._metrics.incremental_graph_updates += 1
-        self._work_inc_nodes += removed
-        self._work_inc_edges += dropped
+        self._remove_span(0, len(unit.messages))
+
+    def umq_removed_unit(
+        self, unit: MaintenanceUnit, index: int
+    ) -> None:
+        """Mid-queue departure: the parallel executor dispatched a unit.
+
+        Dispatch precedes maintenance, so no view rewrite has happened
+        yet and surviving footprints are still valid — plain node drops
+        suffice even for SC-bearing units (the scheduler calls
+        :meth:`rebuild` after such a unit *commits*).  Removing a
+        lineage link, however, changes the resolver for the survivors
+        immediately, so that case falls back to a rebuild.
+        """
+        if any(lineage_affecting(message) for message in unit):
+            for message in unit:
+                self.cache.discard(message)
+            self._rebuild(clear_cache=True)
+            return
+        for message in unit:
+            self.cache.discard(message)
+        start = sum(
+            len(earlier) for earlier in self._umq.units[:index]
+        )
+        # The unit already left the queue, but our mirror still holds
+        # it: its span starts where the survivors at ``index`` now sit.
+        self._remove_span(start, len(unit.messages))
+
+    def umq_requeued_front(self, unit: MaintenanceUnit) -> None:
+        """An aborted unit re-entered at the head (rare abort path)."""
+        self._rebuild(
+            clear_cache=any(
+                lineage_affecting(message) for message in unit
+            )
+        )
 
     def umq_reordered(self, units: list[MaintenanceUnit]) -> None:
         if self._lineage_count:
@@ -487,20 +648,22 @@ class IncrementalDependencyGraph:
             id(message): index
             for index, message in enumerate(new_messages)
         }
-        old_abs_to_new = {
-            self._offset + position: new_abs[id(message)]
-            for position, message in enumerate(self._messages)
+        old_to_new = {
+            absolute: new_abs[id(self._message_of[absolute])]
+            for absolute in self._order
         }
         remapped_cd = {
-            (old_abs_to_new[before], old_abs_to_new[after])
+            (old_to_new[before], old_to_new[after])
             for before, after in self._cd
         }
-        self._messages = new_messages
-        self._offset = 0
+        self._order = list(range(len(new_messages)))
+        self._message_of = dict(enumerate(new_messages))
+        self._next_abs = len(new_messages)
+        self._pos = None
         self._cd = remapped_cd
         self._sd = set()
         self._by_node = {}
-        self._last_touch = {}
+        self._chains = {}
         self._sc_by_abs = {}
         for before, after in remapped_cd:
             record = (before, after, _CD)
@@ -509,11 +672,12 @@ class IncrementalDependencyGraph:
         # Semantic edges are order-dependent: recompute (O(n)).
         for index, message in enumerate(new_messages):
             for relation in message.touched_relations():
-                key = (message.source, relation)
-                previous = self._last_touch.get(key)
-                if previous is not None:
-                    self._add_edge(previous, index, _SD)
-                self._last_touch[key] = index
+                chain = self._chains.setdefault(
+                    (message.source, relation), []
+                )
+                if chain:
+                    self._add_edge(chain[-1], index, _SD)
+                chain.append(index)
             if message.is_schema_change:
                 self._sc_by_abs[index] = message
         self.incremental_updates += 1

@@ -1,0 +1,601 @@
+"""The parallel maintenance executor.
+
+Definition 7 / Theorem 2 prove that *any* topological order of the
+dependency graph is a legal maintenance order — so units with no path
+between them need not merely be reorderable, they can be maintained
+**concurrently**.  :class:`ParallelScheduler` exploits exactly that: it
+consumes the incremental dependency graph's ready-set API to find the
+antichain of currently-unblocked UMQ units and hands them to N simulated
+workers (:mod:`repro.sim.workers`), with the virtual clock charging
+*makespan* — per-worker timelines meeting at the critical path — instead
+of summed serial cost.
+
+Safety rules (each mirrors a serial-Dyno invariant):
+
+* **gating** — a unit is dispatchable only when it has no predecessor in
+  the dependency graph still queued (``ready_units``), no in-flight unit
+  touching one of its ``(source, relation)`` keys (the semantic-edge
+  condition, preserved across the dispatch boundary), and no quarantined
+  source in its maintenance footprint;
+* **barrier rule** — SC-bearing units and merged batch units run solo:
+  they wait for every worker to drain and block dispatch while running.
+  Since every concurrent (CD) edge originates at a schema change, the
+  barrier plus the touched-key check covers all inter-unit edges whose
+  predecessor already left the queue;
+* **dispatch-order serialization** — the legal order actually realized
+  is the dispatch order.  SWEEP compensation for a unit U therefore
+  subtracts exactly the messages serialized *after* U: the queue
+  snapshot at U's dispatch, arrivals while U runs, and units requeued by
+  aborts while U runs (deduplicated), fed live through the view
+  manager's ``pending_feed`` hook.  Units dispatched before U are never
+  compensated away — each concurrent pair is compensated exactly once;
+* **abort isolation** — a broken query aborts only that worker's unit;
+  the unit requeues at the front and the strategy's broken-query policy
+  (correct / merge-all / skip) is applied once all workers drain, since
+  queue-wide surgery under in-flight maintenance would be unsound.
+  Outages (exhausted retries) quarantine the source and requeue the
+  unit without raising the broken-query flag, as in the serial path;
+* **coordination lag** — detection/dispatch work performed while workers
+  run cannot advance the global clock (worker events would fire late and
+  compensation would mis-date answers); it is charged to the metrics and
+  to a coordinator-backlog watermark that delays subsequent dispatches.
+
+Per-source **query batching** rides on the worker model: when a source's
+query channel is saturated (``CostModel.source_channel_limit``), waiting
+IN-list probes from different units coalesce into one combined round
+trip charged ``query_base`` once, evaluated at one shared instant, and
+split back per unit on answer (:class:`~repro.sim.workers.SourceChannel`).
+"""
+
+from __future__ import annotations
+
+from ..sim import trace as trace_kinds
+from ..sim.engine import QueryAnswer, RetryState
+from ..sim.effects import Checkpoint, Delay, SourceQuery
+from ..sim.workers import QueryJob, SourceChannel, Trip, WorkerPool, WorkerState
+from ..sources.errors import (
+    BrokenQueryError,
+    SourceError,
+    SourceUnavailableError,
+    TransientSourceError,
+)
+from ..sources.messages import UpdateMessage
+from ..views.manager import ViewManager
+from ..views.umq import MaintenanceUnit
+from .anomalies import AnomalyType
+from .scheduler import DynoScheduler, SchedulerStats
+from .strategies import PESSIMISTIC, BrokenQueryPolicy, Strategy
+
+
+class ParallelScheduler(DynoScheduler):
+    """Dyno with N workers draining the UMQ's ready antichain.
+
+    ``workers=1`` degenerates to serial execution under the same
+    event-driven machinery — the honest baseline arm for speedup
+    measurements (identical dispatch overheads, identical batching
+    rules with nobody to batch with).
+    """
+
+    def __init__(
+        self,
+        manager: ViewManager,
+        strategy: Strategy = PESSIMISTIC,
+        workers: int = 2,
+        max_iterations: int = 1_000_000,
+    ) -> None:
+        super().__init__(
+            manager,
+            strategy,
+            max_iterations=max_iterations,
+            incremental_detection=True,
+        )
+        self.pool = WorkerPool(workers)
+        self.channels: dict[str, SourceChannel] = {}
+        #: coordinator backlog: detection/dispatch work performed while
+        #: workers run delays later dispatches instead of the clock
+        self._coordinator_free_at = 0.0
+        #: aborted units awaiting policy application at the next
+        #: all-idle point (queue-wide surgery needs a quiet queue)
+        self._pending_policies: list[tuple[MaintenanceUnit, SourceError]] = []
+        #: an SC-bearing or batch unit is running solo
+        self._barrier_in_flight = False
+        #: dispatch audit for the safety property tests: one record per
+        #: dispatch with the unit and everything in flight at that point
+        self.dispatch_audit: list[dict] = []
+        self.umq.add_listener(self)
+
+    def detach(self) -> None:
+        super().detach()
+        self.umq.remove_listener(self)
+
+    # ------------------------------------------------------------------
+    # UMQ listener: keep every in-flight overlay current
+    # ------------------------------------------------------------------
+
+    def umq_received(self, message: UpdateMessage) -> None:
+        for worker in self.pool.busy_workers():
+            worker.add_pending(message)
+
+    def umq_requeued_front(self, unit: MaintenanceUnit) -> None:
+        # A requeued abort is now serialized after everything in flight.
+        for worker in self.pool.busy_workers():
+            for message in unit:
+                worker.add_pending(message)
+
+    def umq_removed_head(self, unit: MaintenanceUnit) -> None:
+        pass
+
+    def umq_removed_unit(self, unit: MaintenanceUnit, index: int) -> None:
+        pass
+
+    def umq_reordered(self, units: list[MaintenanceUnit]) -> None:
+        pass
+
+    # ------------------------------------------------------------------
+    # time accounting
+    # ------------------------------------------------------------------
+
+    def _charge(self, duration: float, kind: str) -> None:
+        """Coordinator work: clock time when quiet, backlog when not.
+
+        Advancing the global clock while workers hold scheduled events
+        would evaluate their queries late (anachronism), so coordination
+        performed mid-flight only delays future dispatches.
+        """
+        if duration <= 0:
+            return
+        if self.pool.any_busy:
+            self.engine.metrics.charge(kind, duration)
+            self._coordinator_free_at = (
+                max(self._coordinator_free_at, self.engine.clock.now)
+                + duration
+            )
+        else:
+            super()._charge(duration, kind)
+
+    def _charge_worker(
+        self, worker: WorkerState, kind: str, duration: float
+    ) -> None:
+        self.engine.metrics.charge(kind, duration)
+        if duration > 0:
+            worker.busy_time += duration
+            self.engine.metrics.worker_busy_time[worker.index] += duration
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def _channel(self, source_name: str) -> SourceChannel:
+        channel = self.channels.get(source_name)
+        if channel is None:
+            channel = SourceChannel(
+                source_name, self.manager.cost.source_channel_limit
+            )
+            self.channels[source_name] = channel
+        return channel
+
+    def _touched_keys(self, unit: MaintenanceUnit) -> set[tuple[str, str]]:
+        return {
+            (message.source, relation)
+            for message in unit
+            for relation in message.touched_relations()
+        }
+
+    def _quarantine_blocked(self, unit: MaintenanceUnit) -> bool:
+        if not self._quarantined:
+            return False
+        substrate = self.substrate
+        for message in unit:
+            footprint = substrate.cache.footprint(
+                message, substrate.resolver
+            )
+            if any(
+                source in self._quarantined
+                for source, _relation in footprint.relations
+            ):
+                return True
+        return False
+
+    def _pick_unit(self) -> MaintenanceUnit | None:
+        """The earliest dispatchable unit, or ``None``.
+
+        Scans the ready antichain in queue order and never leapfrogs a
+        barrier unit that is only waiting for workers to drain — once an
+        SC (or batch) becomes the earliest ready unit, dispatch pauses
+        behind it, bounding its starvation.
+        """
+        units = self.umq.units
+        if not units:
+            return None
+        busy_keys: set[tuple[str, str]] = set()
+        for running in self.pool.in_flight_units():
+            busy_keys |= self._touched_keys(running)
+        for index in self.substrate.ready_units():
+            unit = units[index]
+            if self._quarantine_blocked(unit):
+                continue
+            if unit.has_schema_change or unit.is_batch:
+                if self.pool.any_busy:
+                    return None  # barrier: drain first, no leapfrogging
+                return unit
+            if self._touched_keys(unit) & busy_keys:
+                continue
+            return unit
+        return None
+
+    def _dispatch_round(self) -> int:
+        """Hand ready units to idle workers; returns dispatch count."""
+        if self._pending_policies:
+            if self.pool.any_busy:
+                return 0
+            self._apply_pending_policies()
+        if self._barrier_in_flight or self.umq.is_empty():
+            return 0
+        cost = self.manager.cost
+        metrics = self.engine.metrics
+        if self.strategy.pre_exec:
+            self._charge(cost.detection_flag_check, "detection")
+            if self.umq.test_and_clear_schema_change_flag():
+                self.detect_and_correct()
+        if self.pool.idle_worker() is None:
+            return 0
+        # The ready-set scan: drained substrate mutations plus one
+        # incremental-rate sweep of the live graph.
+        self._charge(
+            self._detection_work_cost(0, 0)
+            + cost.detection_incremental(
+                self.substrate.node_count, self.substrate.edge_count
+            ),
+            "detection",
+        )
+        dispatched = 0
+        while not self._barrier_in_flight:
+            worker = self.pool.idle_worker()
+            if worker is None:
+                break
+            unit = self._pick_unit()
+            if unit is None:
+                break
+            self._dispatch(worker, unit)
+            dispatched += 1
+        if (
+            not dispatched
+            and self.pool.all_idle
+            and not self.umq.is_empty()
+            and not self.substrate.ready_units()
+        ):
+            # Every queued unit has a queued predecessor: the
+            # dependency graph holds a cycle (CD edges around schema
+            # changes).  Serial Dyno dissolves cycles inside correct()
+            # by merging each into one batch unit (Definition 7); the
+            # parallel loop only reaches correction through the
+            # pre-exec flag or an abort policy, so a cycle surfacing
+            # between those points would deadlock the dispatcher.
+            self.detect_and_correct()
+            worker = self.pool.idle_worker()
+            unit = self._pick_unit()
+            if worker is not None and unit is not None:
+                self._dispatch(worker, unit)
+                dispatched += 1
+        return dispatched
+
+    def _dispatch(self, worker: WorkerState, unit: MaintenanceUnit) -> None:
+        now = self.engine.clock.now
+        self.stats.iterations += 1
+        self.dispatch_audit.append(
+            {
+                "at": now,
+                "unit": list(unit.messages),
+                "in_flight": [
+                    list(running.messages)
+                    for running in self.pool.in_flight_units()
+                ],
+            }
+        )
+        self._charge(self.manager.cost.dispatch_overhead, "dispatch")
+        self.umq.remove_unit(unit)
+        # Everything still queued is serialized behind this unit.
+        snapshot = self.umq.messages()
+        # Re-read the clock: charging with an idle pool advances it.
+        start_at = max(self.engine.clock.now, self._coordinator_free_at)
+        worker.assign(unit, None, start_at, snapshot)
+        worker.process = self.manager.build_maintenance(
+            unit, pending_feed=worker.pending_feed()
+        )
+        if unit.has_schema_change or unit.is_batch:
+            self._barrier_in_flight = True
+        metrics = self.engine.metrics
+        metrics.dispatched_units += 1
+        self.pool.note_parallelism()
+        if self.pool.peak_parallelism > metrics.peak_parallelism:
+            metrics.peak_parallelism = self.pool.peak_parallelism
+        self.engine.schedule(
+            start_at, lambda w=worker: self._advance_process(w)
+        )
+
+    # ------------------------------------------------------------------
+    # driving one worker's maintenance generator
+    # ------------------------------------------------------------------
+
+    def _advance_process(
+        self,
+        worker: WorkerState,
+        payload: object = None,
+        throw: BaseException | None = None,
+    ) -> None:
+        """Resume a worker's generator at the current instant and drive
+        it until it needs time (Delay/SourceQuery) or finishes."""
+        process = worker.process
+        assert process is not None, "event for an idle worker"
+        send_value = payload
+        throw_exc = throw
+        while True:
+            try:
+                if throw_exc is not None:
+                    effect = process.throw(throw_exc)
+                    throw_exc = None
+                else:
+                    effect = process.send(send_value)
+            except StopIteration:
+                self._complete(worker)
+                return
+            except BrokenQueryError as broken:
+                self._abort(worker, broken)
+                return
+            send_value = None
+            if isinstance(effect, Delay):
+                self._charge_worker(worker, effect.kind, effect.duration)
+                if effect.duration > 0:
+                    self.engine.schedule(
+                        self.engine.clock.now + effect.duration,
+                        lambda w=worker: self._advance_process(w),
+                    )
+                    return
+                continue  # zero-cost: keep driving inline
+            if isinstance(effect, Checkpoint):
+                send_value = self.engine.clock.now
+                continue
+            if isinstance(effect, SourceQuery):
+                self._submit_query(worker, effect)
+                return
+            raise TypeError(f"unknown effect {effect!r}")
+
+    def _submit_query(self, worker: WorkerState, effect: SourceQuery) -> None:
+        job = QueryJob(
+            worker,
+            effect,
+            RetryState(self.engine, effect),
+            self.engine.query_request_cost(effect),
+        )
+        self._enqueue_job(job)
+
+    def _enqueue_job(self, job: QueryJob) -> None:
+        channel = self._channel(job.effect.source_name)
+        trip = channel.submit(job)
+        if trip is not None:
+            self._start_trip(channel, trip)
+
+    def _resubmit(self, job: QueryJob) -> None:
+        """Retry round: re-price the request (source state may have
+        drifted) and rejoin the channel line."""
+        if job.worker.process is None:
+            return  # the unit was torn down meanwhile
+        job.request_cost = self.engine.query_request_cost(job.effect)
+        self._enqueue_job(job)
+
+    def _start_trip(self, channel: SourceChannel, trip: Trip) -> None:
+        now = self.engine.clock.now
+        metrics = self.engine.metrics
+        trip.started_at = now
+        combined = trip.combined_request_cost(
+            self.manager.cost.query_base
+        )
+        # One combined round trip; every participant waits it out.
+        metrics.charge(trip.jobs[0].effect.kind, combined)
+        for job in trip.jobs:
+            if combined > 0:
+                job.worker.busy_time += combined
+                metrics.worker_busy_time[job.worker.index] += combined
+        if trip.is_batch:
+            metrics.batch_round_trips += 1
+            metrics.batched_queries += len(trip.jobs)
+        trip.answer_at = now + combined
+        self.engine.schedule(
+            trip.answer_at, lambda: self._trip_answered(channel, trip)
+        )
+
+    def _trip_answered(self, channel: SourceChannel, trip: Trip) -> None:
+        """The shared answer instant: evaluate every participant's query
+        against the source's current state (clock == answer time, so
+        compensation sees exactly the commits that preceded it)."""
+        now = self.engine.clock.now
+        metrics = self.engine.metrics
+        channel.release()
+        for job in trip.jobs:
+            try:
+                result = self.engine.evaluate_query(job.effect)
+            except TransientSourceError as exc:
+                elapsed = getattr(exc, "elapsed", 0.0)
+                if elapsed > 0:
+                    self._charge_worker(
+                        job.worker, job.effect.kind, elapsed
+                    )
+                self.engine.tracer.record(
+                    now, trace_kinds.FAULT, str(exc)
+                )
+                try:
+                    pause = job.retry.on_transient(exc, now)
+                except SourceUnavailableError as down:
+                    self._abandon(job.worker, down)
+                    continue
+                self.engine.schedule(
+                    now + elapsed + pause,
+                    lambda j=job: self._resubmit(j),
+                )
+                continue
+            except BrokenQueryError as broken:
+                metrics.broken_queries += 1
+                self.engine.tracer.record(
+                    now, trace_kinds.BROKEN, str(broken)
+                )
+                # In-exec detection: thrown into this worker's process
+                # only — the other participants keep their answers.
+                self._advance_process(job.worker, throw=broken)
+                continue
+            transfer = self.engine.transfer_cost(result)
+            self._charge_worker(job.worker, job.effect.kind, transfer)
+            answer = QueryAnswer(result, now)
+            if transfer > 0:
+                self.engine.schedule(
+                    now + transfer,
+                    lambda w=job.worker, a=answer: self._advance_process(
+                        w, payload=a
+                    ),
+                )
+            else:
+                self._advance_process(job.worker, payload=answer)
+        follow_up = channel.next_trip()
+        if follow_up is not None:
+            self._start_trip(channel, follow_up)
+
+    # ------------------------------------------------------------------
+    # unit completion / abort / abandonment
+    # ------------------------------------------------------------------
+
+    def _finish_barrier(self, unit: MaintenanceUnit) -> None:
+        if unit.has_schema_change or unit.is_batch:
+            self._barrier_in_flight = False
+
+    def _complete(self, worker: WorkerState) -> None:
+        unit = worker.release()
+        self.stats.processed_messages.extend(
+            (message.source, message.seqno) for message in unit
+        )
+        self._finish_barrier(unit)
+        if unit.has_schema_change:
+            # The rewrite committed: every cached footprint and every
+            # concurrent edge may be stale now (serial head-removal gets
+            # this rebuild from the UMQ listener; dispatch removed this
+            # unit before its maintenance ran).
+            self.substrate.rebuild()
+        self._last_broken_unit_ids = None
+
+    def _abort(self, worker: WorkerState, broken: BrokenQueryError) -> None:
+        now = self.engine.clock.now
+        unit = worker.unit
+        assert unit is not None
+        metrics = self.engine.metrics
+        wasted = now - worker.dispatched_at
+        metrics.aborts += 1
+        metrics.abort_cost += wasted
+        metrics.anomalies[
+            AnomalyType.SC_CONFLICTS_WITH_M_SC
+            if unit.has_schema_change
+            else AnomalyType.SC_CONFLICTS_WITH_M_DU
+        ] += 1
+        self.stats.abort_events.append((now, unit.describe()))
+        self.engine.tracer.record(
+            now,
+            trace_kinds.ABORT,
+            f"wasted {wasted:.3f}s on {unit.describe()}",
+        )
+        self._teardown(worker)
+        self.umq.requeue_front(unit)
+        self._pending_policies.append((unit, broken))
+
+    def _abandon(
+        self, worker: WorkerState, down: SourceUnavailableError
+    ) -> None:
+        """An outage, not an anomaly: quarantine and requeue quietly."""
+        now = self.engine.clock.now
+        unit = worker.unit
+        assert unit is not None
+        self.engine.tracer.record(
+            now,
+            trace_kinds.FAULT,
+            f"abandoned {unit.describe()} after "
+            f"{now - worker.dispatched_at:.3f}s: {down}",
+        )
+        self._teardown(worker)
+        self.umq.requeue_front(unit)
+        self._classify_transient(down)
+
+    def _teardown(self, worker: WorkerState) -> None:
+        process = worker.process
+        if process is not None:
+            process.close()
+        unit = worker.release()
+        self._finish_barrier(unit)
+
+    def _apply_pending_policies(self) -> None:
+        """All workers idle: apply the broken-query policy for each
+        abort that happened since the last quiet point, in abort order
+        (the serial ``_handle_broken_query`` tail, minus classification
+        — only genuine broken queries are parked here)."""
+        pending = self._pending_policies
+        self._pending_policies = []
+        for unit, broken in pending:
+            self.stats.genuine_broken_flags += 1
+            assert isinstance(broken, BrokenQueryError)
+            policy = self.strategy.on_broken_query
+            if unit not in self.umq.units:
+                # A previous policy in this drain absorbed the unit
+                # (merge-all / correction cycle-merge); nothing left to
+                # act on.
+                continue
+            if policy is BrokenQueryPolicy.SKIP:
+                self.umq.remove_unit(unit)
+                self.stats.skipped_updates += 1
+                continue
+            if policy is BrokenQueryPolicy.MERGE_ALL:
+                self._merge_whole_queue()
+                continue
+            unit_ids = tuple(id(message) for message in unit)
+            repeat = unit_ids == self._last_broken_unit_ids
+            self._last_broken_unit_ids = unit_ids
+            self.detect_and_correct()
+            still_head = (
+                not self.umq.is_empty()
+                and tuple(id(message) for message in self.umq.head())
+                == unit_ids
+            )
+            if repeat and still_head:
+                self._force_progress(broken.source)
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Dispatch what is ready, then advance to the next event.
+
+        Returns ``False`` at quiescence (nothing running, nothing
+        queued and dispatchable, nothing scheduled)."""
+        self._sync_fault_stats()
+        self._lift_due_quarantines()
+        progressed = self._dispatch_round() > 0
+        if self.engine.advance_to_next_event():
+            return True
+        if progressed:
+            return True
+        if self.pool.any_busy:
+            # Busy workers always hold a scheduled event; reaching here
+            # means the heap and the pool disagree.
+            raise RuntimeError("parallel executor stalled with busy workers")
+        if not self.umq.is_empty():
+            if self._pending_policies:
+                return True  # next round applies the policies
+            if self._quarantined:
+                self._wait_for_recovery()
+                return True
+        return False
+
+    def run(self) -> SchedulerStats:
+        while self.stats.iterations < self.max_iterations:
+            if not self.step():
+                break
+        metrics = self.engine.metrics
+        metrics.makespan = self.engine.clock.now
+        metrics.peak_parallelism = self.pool.peak_parallelism
+        self._sync_fault_stats()
+        return self.stats

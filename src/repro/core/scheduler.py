@@ -55,6 +55,10 @@ class SchedulerStats:
     forced_merges: int = 0
     skipped_updates: int = 0
     abort_events: list[tuple[float, str]] = field(default_factory=list)
+    #: ``(source, seqno)`` of every message whose maintenance committed
+    #: (order = commit order; the parallel equivalence tests compare the
+    #: *sets* against the serial oracle)
+    processed_messages: list[tuple[str, int]] = field(default_factory=list)
     # -- fault handling (mirrors of engine metrics + scheduler-only) ---
     #: maintenance-query retries performed by the engine
     retries: int = 0
@@ -531,6 +535,9 @@ class DynoScheduler:
             return True
         # Success: line 12, remove the head.
         self._last_broken_unit_ids = None
+        self.stats.processed_messages.extend(
+            (message.source, message.seqno) for message in unit
+        )
         self.umq.remove_head()
         return True
 

@@ -4,6 +4,7 @@ from .ablations import (
     run_blind_merge_ablation,
     run_graph_scaling_ablation,
     run_incremental_detection_ablation,
+    run_parallel_ablation,
 )
 from .fig08 import run_figure as run_fig08
 from .fig09 import run_figure as run_fig09
@@ -27,5 +28,6 @@ __all__ = [
     "run_fig12",
     "run_graph_scaling_ablation",
     "run_incremental_detection_ablation",
+    "run_parallel_ablation",
     "run_starvation_study",
 ]

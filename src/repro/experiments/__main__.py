@@ -25,6 +25,7 @@ from . import (
     run_fig12,
     run_graph_scaling_ablation,
     run_incremental_detection_ablation,
+    run_parallel_ablation,
     run_starvation_study,
 )
 from .fig08 import QUICK_DU_COUNTS as FIG8_QUICK
@@ -36,38 +37,57 @@ _QUICK_TUPLES = 500
 _FULL_TUPLES = 2000
 
 
-def _runners(full: bool) -> dict:
+def _runners(full: bool, seed: int | None = None) -> dict:
     tuples = _FULL_TUPLES if full else _QUICK_TUPLES
+    # --seed overrides the workload seed of every runner that draws a
+    # randomized stream (fig09's workload is deterministic); the value
+    # threads through Testbed.random_du_workload and friends.
+    seeded = {} if seed is None else {"seed": seed}
     return {
         "fig08": lambda: run_fig08(
             tuples_per_relation=tuples,
             **({} if full else {"du_counts": FIG8_QUICK}),
+            **seeded,
         ),
         "fig09": lambda: run_fig09(tuples_per_relation=tuples),
         "fig10": lambda: run_fig10(
             tuples_per_relation=tuples,
             **({} if full else {"intervals": FIG10_QUICK, "du_count": 60}),
+            **seeded,
         ),
         "fig11": lambda: run_fig11(
             tuples_per_relation=tuples,
             **({} if full else {"sc_counts": FIG11_QUICK, "du_count": 60}),
+            **seeded,
         ),
         "fig12": lambda: run_fig12(
             tuples_per_relation=tuples,
             **({} if full else {"du_counts": FIG12_QUICK}),
+            **seeded,
         ),
         "abl-blind-merge": lambda: run_blind_merge_ablation(
             tuples_per_relation=tuples,
             **({} if full else {"du_count": 60}),
+            **seeded,
         ),
         "abl-graph-scaling": lambda: run_graph_scaling_ablation(),
         "abl-incremental-detection": lambda: (
             run_incremental_detection_ablation(
-                **({} if full else {"sizes": (50, 100, 200)})
+                **({} if full else {"sizes": (50, 100, 200)}),
+                **seeded,
             )
         ),
         "abl-starvation": lambda: run_starvation_study(
             tuples_per_relation=min(tuples, 1000),
+            **seeded,
+        ),
+        "abl-parallel": lambda: run_parallel_ablation(
+            **(
+                {"du_count": 80, "tuples_per_relation": 400}
+                if full
+                else {}
+            ),
+            **seeded,
         ),
     }
 
@@ -87,9 +107,15 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="paper-scale sweeps (minutes) instead of the quick defaults",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the workload seed of every randomized runner",
+    )
     arguments = parser.parse_args(argv)
 
-    runners = _runners(arguments.full)
+    runners = _runners(arguments.full, arguments.seed)
     requested = (
         list(runners) if "all" in arguments.figures else arguments.figures
     )

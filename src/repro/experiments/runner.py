@@ -72,7 +72,8 @@ class FigureResult:
 
     def to_json(self, indent: int = 2) -> str:
         """The figure as a machine-readable JSON document (the CI
-        artifact format; stable keys, points in series order)."""
+        artifact format; keys sorted so baseline diffs are stable
+        regardless of insertion order, points in series order)."""
         return json.dumps(
             {
                 "figure_id": self.figure_id,
@@ -87,6 +88,7 @@ class FigureResult:
                 "consistent": self.consistent,
             },
             indent=indent,
+            sort_keys=True,
         )
 
     def print(self) -> None:  # pragma: no cover - console convenience

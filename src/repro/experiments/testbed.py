@@ -156,6 +156,7 @@ def build_testbed(
     cost_model: CostModel | None = None,
     seed: int = 3,
     backend: str = "memory",
+    parallel_workers: int | None = None,
 ) -> Testbed:
     """Create sources, load data, define the 6-way join view.
 
@@ -163,6 +164,13 @@ def build_testbed(
     default in-process engine) or ``"sqlite"`` (stdlib ``sqlite3``
     storage and SQL query answering) — the whole evaluation runs on
     either.
+
+    ``parallel_workers`` switches the Dyno loop for the parallel
+    executor (:class:`~repro.core.parallel.ParallelScheduler`) with that
+    many workers; ``None`` keeps the serial scheduler.  ``1`` is the
+    serial *arm* of the parallel model — same dispatch overheads and
+    event machinery, no concurrency — which is the honest baseline for
+    makespan comparisons.
     """
     cost = cost_model or CostModel.calibrated(tuples_per_relation)
     engine = SimEngine(cost)
@@ -213,7 +221,14 @@ def build_testbed(
     )
     view = ViewDefinition("V", SPJQuery(relations, projection, joins))
     manager = ViewManager(engine, view)
-    scheduler = DynoScheduler(manager, strategy)
+    if parallel_workers is not None:
+        from ..core.parallel import ParallelScheduler
+
+        scheduler: DynoScheduler = ParallelScheduler(
+            manager, strategy, workers=parallel_workers
+        )
+    else:
+        scheduler = DynoScheduler(manager, strategy)
     return Testbed(engine, manager, scheduler, tuples_per_relation, rng)
 
 

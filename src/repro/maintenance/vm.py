@@ -122,7 +122,11 @@ def maintain_data_update(
                 # Disconnected relation: full scan.
                 source_query = scan_query(query, alias)
 
-            answer = yield SourceQuery(ref.source, source_query)
+            # Indexed IN-list probes may coalesce with probes from other
+            # concurrently maintained units against the same source.
+            answer = yield SourceQuery(
+                ref.source, source_query, batchable=bool(joins)
+            )
             assert isinstance(answer, QueryAnswer)
 
             leaked = pending_data_updates(

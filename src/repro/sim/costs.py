@@ -60,6 +60,13 @@ class CostModel:
     detection_incremental_per_edge: float = 0.00002
     #: topological sort / cycle merge, per node + edge
     correction_per_element: float = 0.0001
+    #: handing one maintenance unit to a parallel worker (ready-set
+    #: lookup, context handoff) — charged to the dispatching round
+    dispatch_overhead: float = 0.002
+    #: maintenance-query trips one source accepts concurrently; extra
+    #: trips queue at the source, so parallel speedup saturates
+    #: realistically instead of scaling without bound
+    source_channel_limit: int = 1
 
     # ------------------------------------------------------------------
     # derived costs
@@ -157,4 +164,5 @@ class CostModel:
             detection_incremental_per_node=0.0,
             detection_incremental_per_edge=0.0,
             correction_per_element=0.0,
+            dispatch_overhead=0.0,
         )

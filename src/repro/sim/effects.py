@@ -52,6 +52,11 @@ class SourceQuery(Effect):
     source_name: str
     query: SPJQuery
     kind: str = "maintenance_query"
+    #: an indexed IN-list probe the parallel executor may coalesce with
+    #: probes from other concurrently maintained units against the same
+    #: source (one combined round trip, ``query_base`` charged once);
+    #: full-relation scans and adaptation reads never batch
+    batchable: bool = False
 
 
 @dataclass(frozen=True)

@@ -218,24 +218,13 @@ class SimEngine:
         :class:`BrokenQueryError`, so in-exec detection never mistakes
         an outage for a broken-query anomaly.
         """
-        from ..sources.errors import (
-            SourceUnavailableError,
-            TransientSourceError,
-        )
+        from ..sources.errors import TransientSourceError
 
-        policy = self.retry_policy
-        deadline = (
-            self.clock.now + policy.deadline
-            if policy is not None and policy.deadline > 0
-            else None
-        )
-        failures = 0
+        state = RetryState(self, effect)
         while True:
             try:
                 return self._attempt_query(effect)
             except TransientSourceError as exc:
-                failures += 1
-                self.metrics.transient_failures += 1
                 elapsed = getattr(exc, "elapsed", 0.0)
                 if elapsed > 0:
                     # A timeout is not free: the view manager waited.
@@ -244,68 +233,51 @@ class SimEngine:
                 self.tracer.record(
                     self.clock.now, trace_kinds.FAULT, str(exc)
                 )
-                if policy is None or failures >= policy.max_attempts:
-                    self.metrics.exhausted_queries += 1
-                    raise SourceUnavailableError(
-                        effect.source_name,
-                        failures,
-                        "retry budget exhausted",
-                        last_error=exc,
-                    ) from exc
-                pause = self.cost_model.retry_pause(
-                    policy.backoff(failures, salt=effect.source_name)
-                )
-                if deadline is not None and (
-                    self.clock.now + pause > deadline
-                ):
-                    self.metrics.exhausted_queries += 1
-                    raise SourceUnavailableError(
-                        effect.source_name,
-                        failures,
-                        f"per-query deadline ({policy.deadline:g}s) "
-                        f"exceeded",
-                        last_error=exc,
-                    ) from exc
-                self.metrics.retries += 1
-                self.metrics.backoff_time += pause
-                self.metrics.charge("retry_backoff", pause)
-                self.tracer.record(
-                    self.clock.now,
-                    trace_kinds.RETRY,
-                    f"{effect.source_name}: attempt {failures + 1} "
-                    f"after {pause:.3f}s backoff",
-                )
+                pause = state.on_transient(exc, self.clock.now)
                 self.advance_by(pause)
 
-    def _attempt_query(self, effect: SourceQuery) -> QueryAnswer:
+    # -- query-path building blocks (shared with the parallel workers) --
+
+    def query_request_cost(self, effect: SourceQuery) -> float:
+        """Virtual cost of shipping+executing the request at the source
+        (everything before the answer exists)."""
         query = effect.query
-        source = self.sources[effect.source_name]
         probe_values = _probe_value_count(query)
         if probe_values is not None:
-            request_cost = self.cost_model.query_base + (
+            return self.cost_model.query_base + (
                 probe_values * self.cost_model.query_per_probe_value
             )
-        else:
-            scanned = _scanned_tuples(source, query)
-            request_cost = self.cost_model.query_base + (
-                scanned * self.cost_model.query_per_scanned_tuple
-            )
-        # The request/execution window: autonomous commits inside it are
-        # visible to (or break) the query.
-        self.metrics.charge(effect.kind, request_cost)
-        self.advance_by(request_cost)
-        answered_at = self.clock.now
-        result = source.execute(query)  # may raise BrokenQueryError
-        transfer_cost = (
-            len(result) * self.cost_model.query_per_result_tuple
+        scanned = _scanned_tuples(self.sources[effect.source_name], query)
+        return self.cost_model.query_base + (
+            scanned * self.cost_model.query_per_scanned_tuple
         )
-        self.metrics.charge(effect.kind, transfer_cost)
-        self.advance_by(transfer_cost)
+
+    def evaluate_query(self, effect: SourceQuery) -> Table:
+        """Evaluate against the source's *current* state — the caller
+        must have advanced the clock to the answer instant first.  May
+        raise BrokenQueryError / TransientSourceError."""
+        result = self.sources[effect.source_name].execute(effect.query)
         self.tracer.record(
-            answered_at,
+            self.clock.now,
             trace_kinds.QUERY,
             f"{effect.source_name} -> {len(result)} tuples",
         )
+        return result
+
+    def transfer_cost(self, result: Table) -> float:
+        return len(result) * self.cost_model.query_per_result_tuple
+
+    def _attempt_query(self, effect: SourceQuery) -> QueryAnswer:
+        # The request/execution window: autonomous commits inside it are
+        # visible to (or break) the query.
+        request_cost = self.query_request_cost(effect)
+        self.metrics.charge(effect.kind, request_cost)
+        self.advance_by(request_cost)
+        answered_at = self.clock.now
+        result = self.evaluate_query(effect)  # may raise BrokenQueryError
+        transfer = self.transfer_cost(result)
+        self.metrics.charge(effect.kind, transfer)
+        self.advance_by(transfer)
         return QueryAnswer(result, answered_at)
 
     # ------------------------------------------------------------------
@@ -342,6 +314,71 @@ class SimEngine:
                 effect = process.send(result)
             except StopIteration as stop:
                 return stop.value
+
+
+class RetryState:
+    """The retry decision core of one logical maintenance query.
+
+    Shared by the serial blocking path (:meth:`SimEngine._perform_query`)
+    and the parallel workers' non-blocking query state machine, so both
+    burn the same budget, observe the same per-query deadline (anchored
+    at the first attempt), and charge the same backoff costs.  The caller
+    owns the clock: it charges any timeout wait (``exc.elapsed``) before
+    calling, and sleeps the returned pause after.
+    """
+
+    def __init__(self, engine: SimEngine, effect: SourceQuery) -> None:
+        self._engine = engine
+        self._effect = effect
+        self._policy = engine.retry_policy
+        self._deadline = (
+            engine.clock.now + self._policy.deadline
+            if self._policy is not None and self._policy.deadline > 0
+            else None
+        )
+        self.failures = 0
+
+    def on_transient(self, exc: Exception, now: float) -> float:
+        """Account one transient failure at instant ``now``; return the
+        backoff pause before the next attempt, or raise
+        :class:`~repro.sources.errors.SourceUnavailableError` when the
+        retry budget or the per-query deadline is exhausted."""
+        from ..sources.errors import SourceUnavailableError
+
+        engine = self._engine
+        effect = self._effect
+        policy = self._policy
+        self.failures += 1
+        engine.metrics.transient_failures += 1
+        if policy is None or self.failures >= policy.max_attempts:
+            engine.metrics.exhausted_queries += 1
+            raise SourceUnavailableError(
+                effect.source_name,
+                self.failures,
+                "retry budget exhausted",
+                last_error=exc,
+            ) from exc
+        pause = engine.cost_model.retry_pause(
+            policy.backoff(self.failures, salt=effect.source_name)
+        )
+        if self._deadline is not None and now + pause > self._deadline:
+            engine.metrics.exhausted_queries += 1
+            raise SourceUnavailableError(
+                effect.source_name,
+                self.failures,
+                f"per-query deadline ({policy.deadline:g}s) exceeded",
+                last_error=exc,
+            ) from exc
+        engine.metrics.retries += 1
+        engine.metrics.backoff_time += pause
+        engine.metrics.charge("retry_backoff", pause)
+        engine.tracer.record(
+            now,
+            trace_kinds.RETRY,
+            f"{effect.source_name}: attempt {self.failures + 1} "
+            f"after {pause:.3f}s backoff",
+        )
+        return pause
 
 
 def _probe_value_count(query: SPJQuery) -> int | None:

@@ -57,6 +57,20 @@ class Metrics:
     backoff_time: float = 0.0
     #: queries abandoned after exhausting their retry budget
     exhausted_queries: int = 0
+    #: virtual clock at quiescence under the parallel executor — the
+    #: critical-path completion time across worker timelines (serial
+    #: runs leave this at 0.0 and report ``maintenance_cost`` instead)
+    makespan: float = 0.0
+    #: per-worker busy time (index -> virtual seconds doing maintenance)
+    worker_busy_time: Counter = field(default_factory=Counter)
+    #: units handed to parallel workers
+    dispatched_units: int = 0
+    #: widest antichain actually dispatched at once
+    peak_parallelism: int = 0
+    #: probe queries that rode a coalesced per-source batch trip
+    batched_queries: int = 0
+    #: combined IN-list round trips issued on behalf of >= 2 units
+    batch_round_trips: int = 0
     #: broken-query anomalies by Section 3.1 type (3 = SC vs M(DU),
     #: 4 = SC vs M(SC)); types 1-2 never abort — they are absorbed by
     #: compensation and visible in the manager's CompensationLog
@@ -73,6 +87,21 @@ class Metrics:
     def maintenance_cost(self) -> float:
         """Total cost as the paper charts it (work including aborts)."""
         return self.total_busy_time
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock analogue: makespan when workers ran in parallel,
+        summed busy time for a serial drain."""
+        return self.makespan if self.makespan > 0.0 else self.total_busy_time
+
+    def worker_utilization(self) -> dict[int, float]:
+        """Fraction of the makespan each worker spent busy."""
+        if self.makespan <= 0.0:
+            return {}
+        return {
+            worker: round(busy / self.makespan, 4)
+            for worker, busy in sorted(self.worker_busy_time.items())
+        }
 
     def summary(self) -> dict[str, float]:
         return {
@@ -93,6 +122,12 @@ class Metrics:
             "retries": self.retries,
             "backoff_time": round(self.backoff_time, 6),
             "exhausted_queries": self.exhausted_queries,
+            "makespan": round(self.makespan, 6),
+            "dispatched_units": self.dispatched_units,
+            "peak_parallelism": self.peak_parallelism,
+            "batched_queries": self.batched_queries,
+            "batch_round_trips": self.batch_round_trips,
+            "worker_utilization": self.worker_utilization(),
             "anomalies": {
                 kind.name: count for kind, count in self.anomalies.items()
             },

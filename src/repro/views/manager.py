@@ -228,20 +228,28 @@ class ViewManager:
     # maintenance process construction
     # ------------------------------------------------------------------
 
-    def build_maintenance(self, unit: MaintenanceUnit) -> MaintenanceProcess:
+    def build_maintenance(
+        self, unit: MaintenanceUnit, pending_feed=None
+    ) -> MaintenanceProcess:
         """The maintenance process for one unit (Definition 1).
 
         The process is *compute then install*: all source queries and
         compensation happen first, the materialized view and the view
         definition are only written at the very end (``w(MV) c(MV)``) —
         an abort mid-way leaves both untouched.
+
+        ``pending_feed`` (zero-argument callable) overrides where
+        compensation finds the messages pending *behind* this unit: the
+        parallel executor removes a unit from the UMQ at dispatch, so
+        ``umq.messages_behind`` no longer answers for it — the executor
+        supplies the dispatch-time snapshot plus later arrivals instead.
         """
-        outcome = yield from self.compute_maintenance(unit)
+        outcome = yield from self.compute_maintenance(unit, pending_feed)
         self.apply_outcome(outcome, counted_updates=len(unit))
         return outcome
 
     def compute_maintenance(
-        self, unit: MaintenanceUnit
+        self, unit: MaintenanceUnit, pending_feed=None
     ) -> MaintenanceProcess:
         """Compute (but do not install) the effect of one unit.
 
@@ -250,9 +258,13 @@ class ViewManager:
         preserving unit atomicity across views.
         """
         if unit.has_schema_change:
-            outcome = yield from self._compute_schema_unit(unit)
+            outcome = yield from self._compute_schema_unit(
+                unit, pending_feed
+            )
         else:
-            outcome = yield from self._compute_data_unit(unit)
+            outcome = yield from self._compute_data_unit(
+                unit, pending_feed=pending_feed
+            )
         return outcome
 
     def apply_outcome(
@@ -276,6 +288,7 @@ class ViewManager:
         self,
         unit: MaintenanceUnit,
         anchor: MaintenanceUnit | None = None,
+        pending_feed=None,
     ) -> MaintenanceProcess:
         """M(DU) for a unit of one or more data updates.
 
@@ -298,7 +311,9 @@ class ViewManager:
             process = maintain_data_update(
                 self.view,
                 sub_unit,
-                _UMQView(self, anchor, messages[index + 1 :]),
+                _UMQView(
+                    self, anchor, messages[index + 1 :], pending_feed
+                ),
                 self.compensation_log,
             )
             delta = yield from process
@@ -313,7 +328,7 @@ class ViewManager:
         return MaintenanceOutcome(delta=total)
 
     def _compute_schema_unit(
-        self, unit: MaintenanceUnit
+        self, unit: MaintenanceUnit, pending_feed=None
     ) -> MaintenanceProcess:
         """M(SC) / batch maintenance: VS per combined change, then VA.
 
@@ -341,7 +356,9 @@ class ViewManager:
             data_updates = data_updates_of(unit)
             if data_updates:
                 outcome = yield from self._compute_data_unit(
-                    MaintenanceUnit(data_updates), anchor=unit
+                    MaintenanceUnit(data_updates),
+                    anchor=unit,
+                    pending_feed=pending_feed,
                 )
                 outcome.applied_changes = list(combined)
                 return outcome
@@ -350,7 +367,7 @@ class ViewManager:
         extent = yield from adapt_view(
             candidate,
             unit,
-            _UMQView(self, unit, []),
+            _UMQView(self, unit, [], pending_feed),
             self.cost,
             rounds=effective_changes,
             log=self.compensation_log,
@@ -376,15 +393,25 @@ class _UMQView:
     current-name queries.
     """
 
-    def __init__(self, manager: "ViewManager", unit, extra) -> None:
+    def __init__(
+        self, manager: "ViewManager", unit, extra, pending_feed=None
+    ) -> None:
         self._manager = manager
         self._unit = unit
         self._extra = list(extra)
+        #: parallel executor's override: the unit left the real queue at
+        #: dispatch, so the executor supplies its pending overlay
+        self._pending_feed = pending_feed
 
     def messages_behind(self, _sub_unit) -> list:
+        behind = (
+            self._pending_feed()
+            if self._pending_feed is not None
+            else self._manager.umq.messages_behind(self._unit)
+        )
         pending = (
             self._extra
-            + self._manager.umq.messages_behind(self._unit)
+            + behind
             + self._manager._in_flight_messages()
         )
         if self._manager.schema_history.is_empty():

@@ -117,7 +117,9 @@ class MultiViewManager:
             queries.extend(manager.speculative_queries(message))
         return tuple(queries)
 
-    def build_maintenance(self, unit: MaintenanceUnit) -> MaintenanceProcess:
+    def build_maintenance(
+        self, unit: MaintenanceUnit, pending_feed=None
+    ) -> MaintenanceProcess:
         """Maintain one unit for every view, atomically.
 
         Compute-then-install: a broken query during any view's compute
@@ -126,7 +128,9 @@ class MultiViewManager:
         """
         outcomes: list[MaintenanceOutcome] = []
         for manager in self.managers:
-            outcome = yield from manager.compute_maintenance(unit)
+            outcome = yield from manager.compute_maintenance(
+                unit, pending_feed
+            )
             outcomes.append(outcome)
         for index, (manager, outcome) in enumerate(
             zip(self.managers, outcomes)

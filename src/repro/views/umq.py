@@ -90,6 +90,12 @@ class UMQListener(Protocol):
 
     def umq_reordered(self, units: list[MaintenanceUnit]) -> None: ...
 
+    def umq_removed_unit(
+        self, unit: MaintenanceUnit, index: int
+    ) -> None: ...
+
+    def umq_requeued_front(self, unit: MaintenanceUnit) -> None: ...
+
 
 class UpdateMessageQueue:
     """FIFO of maintenance units with reorder support."""
@@ -190,6 +196,59 @@ class UpdateMessageQueue:
         for listener in self._listeners:
             listener.umq_removed_head(unit)
         return unit
+
+    def remove_unit(self, unit: MaintenanceUnit) -> MaintenanceUnit:
+        """Remove ``unit`` from any queue position (parallel dispatch).
+
+        Head removal keeps the O(1) fast path (and fires the head
+        listener event); mid-queue removal rebuilds the position maps in
+        O(n) and fires ``umq_removed_unit`` with the vacated index.
+        """
+        absolute = self._unit_pos.get(id(unit))
+        if absolute is None:
+            raise UMQError("unit not in UMQ")
+        index = absolute - self._base
+        if index == 0:
+            return self.remove_head()
+        before = sum(
+            len(earlier) for earlier in islice(self._units, 0, index)
+        )
+        del self._units[index]
+        self._unit_pos.pop(id(unit), None)
+        for message in unit:
+            self._owner.pop(id(message), None)
+        if self._messages_cache is not None:
+            del self._messages_cache[before : before + len(unit)]
+        # Positions after the gap all shift down by one.
+        self._unit_pos = {
+            id(survivor): self._base + position
+            for position, survivor in enumerate(self._units)
+        }
+        for listener in self._listeners:
+            listener.umq_removed_unit(unit, index)
+        return unit
+
+    def requeue_front(self, unit: MaintenanceUnit) -> None:
+        """Put a previously removed unit back at the head (abort path).
+
+        The unit's messages must not currently be queued; the
+        schema-change flag and arrival counters are untouched (this is a
+        re-admission, not a new arrival).
+        """
+        for message in unit:
+            if id(message) in self._owner:
+                raise UMQError(
+                    "requeued unit's messages are already queued"
+                )
+        self._units.appendleft(unit)
+        self._base -= 1
+        self._unit_pos[id(unit)] = self._base
+        for message in unit:
+            self._owner[id(message)] = unit
+        if self._messages_cache is not None:
+            self._messages_cache[:0] = unit.messages
+        for listener in self._listeners:
+            listener.umq_requeued_front(unit)
 
     def position_of(self, message: UpdateMessage) -> int:
         """Queue position of the unit containing ``message`` (O(1))."""

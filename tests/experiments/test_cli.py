@@ -30,7 +30,7 @@ class TestExecution:
             def table(self):
                 return "FAKE TABLE"
 
-        def fake_runners(full):
+        def fake_runners(full, seed=None):
             return {"fig09": lambda: calls.append(full) or FakeResult()}
 
         monkeypatch.setattr(cli, "_runners", fake_runners)
@@ -50,10 +50,32 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full: {"fig09": lambda: seen.append(full) or FakeResult()},
+            lambda full, seed=None: {
+                "fig09": lambda: seen.append(full) or FakeResult()
+            },
         )
         cli.main(["fig09", "--full"])
         assert seen == [True]
+
+    def test_seed_flag_threaded_through(self, monkeypatch):
+        seen = []
+
+        class FakeResult:
+            consistent = True
+
+            def table(self):
+                return ""
+
+        monkeypatch.setattr(
+            cli,
+            "_runners",
+            lambda full, seed=None: {
+                "fig09": lambda: seen.append(seed) or FakeResult()
+            },
+        )
+        cli.main(["fig09", "--seed", "42"])
+        cli.main(["fig09"])
+        assert seen == [42, None]
 
     def test_all_runs_everything(self, monkeypatch):
         ran = []
@@ -67,7 +89,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full: {
+            lambda full, seed=None: {
                 name: (lambda n=name: ran.append(n) or FakeResult())
                 for name in ("fig09", "fig10")
             },
@@ -83,6 +105,6 @@ class TestExecution:
                 return ""
 
         monkeypatch.setattr(
-            cli, "_runners", lambda full: {"fig09": BadResult}
+            cli, "_runners", lambda full, seed=None: {"fig09": BadResult}
         )
         assert cli.main(["fig09"]) == 1

@@ -254,6 +254,70 @@ class TestCombineEmissionHazards:
         source = self.apply_to_source(combined)  # must not raise
         assert source.schema_of("T").attribute_names == ("x",)
 
+    def test_empty_batch(self):
+        assert combine_schema_changes([]) == []
+
+    def test_restructure_mid_batch_falls_back_whole_sequence(self):
+        """The conservative fallback is all-or-nothing: one
+        restructure anywhere keeps every change uncombined, even the
+        otherwise collapsible rename chain around it."""
+        sequence = [
+            ("s", RenameRelation("T", "T2")),
+            ("s", RenameRelation("T2", "T3")),
+            (
+                "s",
+                RestructureRelations(
+                    dropped=("T3",),
+                    new_schema=RelationSchema.of("Flat", ["a"]),
+                ),
+            ),
+            ("s", RenameRelation("Flat", "Flat2")),
+        ]
+        assert combine_schema_changes(sequence) == sequence
+
+    def test_create_mid_batch_falls_back_whole_sequence(self):
+        sequence = [
+            ("s", RenameAttribute("T", "x", "x2")),
+            ("s", CreateRelation(RelationSchema.of("New", ["a"]))),
+            ("s", DropAttribute("T", "x2")),
+        ]
+        assert combine_schema_changes(sequence) == sequence
+
+    def test_rename_relation_then_attr_rename_then_drop_collapses(self):
+        """A drop reached through both a relation and an attribute
+        rename resolves all the way back to the original names."""
+        combined = combine_schema_changes(
+            [
+                ("s", RenameRelation("T", "T2")),
+                ("s", RenameAttribute("T2", "x", "x2")),
+                ("s", DropAttribute("T2", "x2")),
+            ]
+        )
+        assert combined == [
+            ("s", DropAttribute("T", "x")),
+            ("s", RenameRelation("T", "T2")),
+        ]
+        source = self.apply_to_source(combined)
+        assert source.schema_of("T2").attribute_names == ("k",)
+
+    def test_add_then_rename_on_renamed_relation(self):
+        """add-then-rename folds into one addition even when the
+        relation itself was renamed first; the emitted addition is
+        addressed by the original relation name."""
+        combined = combine_schema_changes(
+            [
+                ("s", RenameRelation("T", "T2")),
+                ("s", AddAttribute("T2", Attribute("extra"))),
+                ("s", RenameAttribute("T2", "extra", "extra2")),
+            ]
+        )
+        assert combined == [
+            ("s", AddAttribute("T", Attribute("extra2"))),
+            ("s", RenameRelation("T", "T2")),
+        ]
+        source = self.apply_to_source(combined)
+        assert "extra2" in source.schema_of("T2")
+
     def test_rename_swap_falls_back_to_original_sequence(self):
         sequence = [
             ("s", RenameAttribute("T", "k", "tmp")),
