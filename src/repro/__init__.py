@@ -97,6 +97,10 @@ from .views import (
     check_convergence,
 )
 
+# after .views: the cache rides on maintenance/compensation, which the
+# views package is mid-way through importing at the top of this module
+from .cache import CacheHit, SnapshotCache
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -109,6 +113,7 @@ __all__ = [
     "AttributeType",
     "BLIND_MERGE",
     "BrokenQueryError",
+    "CacheHit",
     "Comparison",
     "ConsistencyReport",
     "CostModel",
@@ -149,6 +154,7 @@ __all__ = [
     "RetryPolicy",
     "SPJQuery",
     "SimEngine",
+    "SnapshotCache",
     "SourceUnavailableError",
     "SqliteDataSource",
     "Strategy",

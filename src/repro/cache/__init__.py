@@ -1,0 +1,8 @@
+"""Snapshot caching of maintenance-query answers (self-maintenance).
+
+See :mod:`repro.cache.snapshot` for the versioning and patching rules.
+"""
+
+from .snapshot import CacheHit, SnapshotCache, normalized_query_key
+
+__all__ = ["CacheHit", "SnapshotCache", "normalized_query_key"]

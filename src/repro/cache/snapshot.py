@@ -1,0 +1,224 @@
+"""Version-stamped snapshot cache with local delta patching.
+
+Self-maintenance fast path: most maintenance queries re-ask sources
+near-identical questions — the same IN-list probe recurs across adjacent
+UMQ messages that touch the same join keys, and across the views of a
+:class:`~repro.views.multi.MultiViewManager` maintaining one unit for
+every view.  The cache memoizes probe and scan answers keyed by
+``(source, normalized query)`` and stamped with the source's monotone
+*commit version* at evaluation time.
+
+The core trick is **local delta patching**: a cached answer stamped at
+version *v* < current is not a miss.  The committed updates in the gap
+``(v, current]`` are exactly the source's log suffix — state the view
+manager already holds for SWEEP compensation — so the answer is brought
+forward *locally* by applying each gap delta's effect on the probe query
+(:func:`~repro.maintenance.compensation.effect_on_answer`), the same
+exact single-relation evaluation compensation relies on, run in the
+opposite direction (forward in time instead of backward).  No round
+trip, no channel occupancy, no fault exposure.
+
+Broken-query semantics (Theorem 1) are preserved by construction: any
+schema change in the gap invalidates the entry, because a real query
+shipped now could have broken on the changed metadata and serving a
+stale answer would mask the in-exec detection path.  A DU-only gap means
+the source's schema at the stamp and now are identical, so a query that
+succeeded at *v* cannot be broken at current — patching is safe exactly
+when it is applied.
+
+The cache is deliberately *source-versioned, not view-versioned*: keys
+carry the full normalized query text, so view definition rewrites simply
+produce new keys, and entries built for the old definition age out of
+the LRU without any cross-layer invalidation protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..maintenance.compensation import effect_on_answer
+from ..relational.errors import RelationalError
+from ..relational.query import SPJQuery
+from ..relational.table import Table
+from ..sim.metrics import Metrics
+from ..sources.source import DataSource
+
+#: default bound on resident entries (FIFO-recency eviction)
+DEFAULT_MAX_ENTRIES = 4096
+
+
+def normalized_query_key(query: SPJQuery) -> str:
+    """Canonical cache key text for a maintenance query.
+
+    ``SPJQuery.sql()`` is deterministic for this purpose: IN-list values
+    render sorted (``InPredicate.sql``) and probe attributes are added
+    in sorted order (``decompose.probe_query``), so two probes built
+    from the same value sets — by different units or different views —
+    normalize to the same key.
+    """
+    return query.sql()
+
+
+@dataclass(frozen=True)
+class CacheHit:
+    """One served answer plus the patch work it took to produce it."""
+
+    table: Table
+    #: signed tuples applied while patching the entry forward (0 for an
+    #: exact-version hit); the caller charges ``patch_per_row`` each
+    patched_rows: int
+
+    @property
+    def patched(self) -> bool:
+        return self.patched_rows > 0
+
+
+@dataclass
+class _Entry:
+    version: int
+    table: Table
+
+
+class SnapshotCache:
+    """Per-source memo of maintenance-query answers, patchable in place.
+
+    Only single-relation queries are cacheable: patching needs the exact
+    effect of a gap delta on the answer, which is computable locally iff
+    the query binds no other relation (the same property that makes
+    SWEEP compensation exact — see :mod:`repro.maintenance.compensation`).
+    """
+
+    def __init__(
+        self,
+        metrics: Metrics | None = None,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> None:
+        self.metrics = metrics
+        self.max_entries = max(1, max_entries)
+        #: (source name, normalized query) -> entry, insertion-ordered
+        #: for recency eviction (served entries are re-inserted)
+        self._entries: dict[tuple[str, str], _Entry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def cacheable(query: SPJQuery) -> bool:
+        return len(query.relations) == 1
+
+    # ------------------------------------------------------------------
+    # metrics plumbing (all counters live on the engine Metrics)
+    # ------------------------------------------------------------------
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            setattr(
+                self.metrics, counter, getattr(self.metrics, counter) + amount
+            )
+
+    # ------------------------------------------------------------------
+    # store / serve
+    # ------------------------------------------------------------------
+
+    def store(
+        self,
+        source: DataSource,
+        query: SPJQuery,
+        answer: Table,
+        version: int | None = None,
+    ) -> None:
+        """Memoize a freshly evaluated answer at the source's version.
+
+        ``version`` defaults to the source's current commit version —
+        callers must invoke this at the evaluation instant, before any
+        further virtual time (and therefore further commits) passes.
+        """
+        if not self.cacheable(query):
+            return
+        key = (source.name, normalized_query_key(query))
+        stamped = source.commit_version if version is None else version
+        # Refresh recency on overwrite.
+        self._entries.pop(key, None)
+        self._entries[key] = _Entry(stamped, answer.copy())
+        while len(self._entries) > self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+
+    def serve(self, source: DataSource, query: SPJQuery) -> CacheHit | None:
+        """Answer ``query`` from the cache, patching forward if stale.
+
+        Returns ``None`` on a genuine miss *or* when a schema change
+        committed since the stamp (the entry is dropped: serving it
+        could mask a broken query, violating Theorem 1's reading of the
+        flag).  A returned hit reflects every update the source has
+        committed up to *now* — byte-equal to a zero-latency round trip.
+        """
+        if not self.cacheable(query):
+            return None
+        key = (source.name, normalized_query_key(query))
+        entry = self._entries.get(key)
+        if entry is None:
+            self._count("cache_misses")
+            return None
+        current = source.commit_version
+        gap = source.updates_since(entry.version)
+        if any(message.is_schema_change for message in gap):
+            del self._entries[key]
+            self._count("cache_invalidations_sc")
+            self._count("cache_misses")
+            return None
+        ref = query.relations[0]
+        patched_rows = 0
+        table = entry.table
+        relevant = [
+            message
+            for message in gap
+            if message.is_data_update
+            and message.payload.relation == ref.relation
+        ]
+        if relevant:
+            corrected = table.as_delta()
+            for message in relevant:
+                try:
+                    effect = effect_on_answer(
+                        query, ref.alias, message.payload.delta
+                    )
+                except RelationalError:
+                    # Schema drift the gap scan did not explain: be
+                    # conservative, drop the entry, go remote.
+                    del self._entries[key]
+                    self._count("cache_misses")
+                    return None
+                patched_rows += sum(
+                    abs(count) for _row, count in effect.items()
+                )
+                corrected.merge(effect)
+            table = Table(table.schema)
+            for row, count in corrected.items():
+                if count > 0:
+                    table.insert(row, count)
+            self._count("patched_answers")
+        if gap:
+            # Re-stamp at current so the next serve is an exact hit.
+            del self._entries[key]
+            self._entries[key] = _Entry(current, table)
+        self._count("cache_hits")
+        self._count("saved_round_trips")
+        return CacheHit(table.copy(), patched_rows)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def invalidate_source(self, source_name: str) -> int:
+        """Drop every entry of one source (e.g. on reconnect after an
+        outage whose commits the view manager cannot enumerate).
+        Returns the number of entries dropped.  Ordinary schema changes
+        need no eager call — the per-entry gap scan invalidates lazily.
+        """
+        stale = [key for key in self._entries if key[0] == source_name]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -29,6 +29,22 @@ Safety rules (each mirrors a serial-Dyno invariant):
   aborts while U runs (deduplicated), fed live through the view
   manager's ``pending_feed`` hook.  Units dispatched before U are never
   compensated away — each concurrent pair is compensated exactly once;
+* **dispatch-order installation** — computed outcomes install in
+  dispatch order, not completion order.  A unit's delta is computed
+  relative to the units serialized before it; applying it while an
+  earlier-dispatched unit is still in flight would write a view state
+  that assumes the earlier delta is already there (transiently negative
+  counts at best, silent drift at worst).  A unit finishing out of turn
+  parks its prepared outcome (worker stays busy) until every
+  earlier-dispatched unit has installed or requeued;
+* **taint restart** — when a unit U requeues (abort or abandonment),
+  every in-flight or parked unit that already consumed a query answer
+  is restarted: its answers treated U as serialized *before* it (U was
+  not in its pending overlay at compensation time), and U's requeue
+  re-serializes U behind it.  Units that have consumed no answer yet
+  are safe — their pending overlay is live and now includes U.  Worker
+  events carry an assignment epoch so a restarted worker's stale
+  events (delays, trips, retries, transfers) are inert;
 * **abort isolation** — a broken query aborts only that worker's unit;
   the unit requeues at the front and the strategy's broken-query policy
   (correct / merge-all / skip) is applied once all workers drain, since
@@ -91,6 +107,9 @@ class ParallelScheduler(DynoScheduler):
         )
         self.pool = WorkerPool(workers)
         self.channels: dict[str, SourceChannel] = {}
+        #: dispatch-order commit FIFO: outcomes install strictly in
+        #: this order, never in completion order
+        self._commit_order: list[WorkerState] = []
         #: coordinator backlog: detection/dispatch work performed while
         #: workers run delays later dispatches instead of the clock
         self._coordinator_free_at = 0.0
@@ -102,6 +121,11 @@ class ParallelScheduler(DynoScheduler):
         #: dispatch audit for the safety property tests: one record per
         #: dispatch with the unit and everything in flight at that point
         self.dispatch_audit: list[dict] = []
+        #: cache audit extending the dispatch invariants: one record per
+        #: snapshot-cache serve, proving hits bypassed channel admission
+        #: (no slot held) yet were answered at a single instant like any
+        #: trip — replayed by the equivalence property tests
+        self.cache_audit: list[dict] = []
         self.umq.add_listener(self)
 
     def detach(self) -> None:
@@ -299,9 +323,10 @@ class ParallelScheduler(DynoScheduler):
         # Re-read the clock: charging with an idle pool advances it.
         start_at = max(self.engine.clock.now, self._coordinator_free_at)
         worker.assign(unit, None, start_at, snapshot)
-        worker.process = self.manager.build_maintenance(
+        worker.process = self.manager.compute_unit(
             unit, pending_feed=worker.pending_feed()
         )
+        self._commit_order.append(worker)
         if unit.has_schema_change or unit.is_batch:
             self._barrier_in_flight = True
         metrics = self.engine.metrics
@@ -309,13 +334,29 @@ class ParallelScheduler(DynoScheduler):
         self.pool.note_parallelism()
         if self.pool.peak_parallelism > metrics.peak_parallelism:
             metrics.peak_parallelism = self.pool.peak_parallelism
-        self.engine.schedule(
-            start_at, lambda w=worker: self._advance_process(w)
-        )
+        self._resume_later(start_at, worker)
 
     # ------------------------------------------------------------------
     # driving one worker's maintenance generator
     # ------------------------------------------------------------------
+
+    def _resume_later(
+        self, at: float, worker: WorkerState, payload: object = None
+    ) -> None:
+        """Schedule a process resume that is inert if the worker's unit
+        is torn down (or the worker reassigned) before it fires."""
+        generation = worker.generation
+        self.engine.schedule(
+            at,
+            lambda: self._resume_if_current(worker, generation, payload),
+        )
+
+    def _resume_if_current(
+        self, worker: WorkerState, generation: int, payload: object = None
+    ) -> None:
+        if worker.generation != generation or worker.process is None:
+            return
+        self._advance_process(worker, payload=payload)
 
     def _advance_process(
         self,
@@ -327,6 +368,10 @@ class ParallelScheduler(DynoScheduler):
         it until it needs time (Delay/SourceQuery) or finishes."""
         process = worker.process
         assert process is not None, "event for an idle worker"
+        if isinstance(payload, QueryAnswer):
+            # Consumed answers pin this unit's view of what ran before
+            # it; a later requeue of any of those units taints it.
+            worker.answers_seen += 1
         send_value = payload
         throw_exc = throw
         while True:
@@ -336,8 +381,8 @@ class ParallelScheduler(DynoScheduler):
                     throw_exc = None
                 else:
                     effect = process.send(send_value)
-            except StopIteration:
-                self._complete(worker)
+            except StopIteration as stop:
+                self._complete(worker, stop.value)
                 return
             except BrokenQueryError as broken:
                 self._abort(worker, broken)
@@ -346,9 +391,8 @@ class ParallelScheduler(DynoScheduler):
             if isinstance(effect, Delay):
                 self._charge_worker(worker, effect.kind, effect.duration)
                 if effect.duration > 0:
-                    self.engine.schedule(
-                        self.engine.clock.now + effect.duration,
-                        lambda w=worker: self._advance_process(w),
+                    self._resume_later(
+                        self.engine.clock.now + effect.duration, worker
                     )
                     return
                 continue  # zero-cost: keep driving inline
@@ -361,13 +405,65 @@ class ParallelScheduler(DynoScheduler):
             raise TypeError(f"unknown effect {effect!r}")
 
     def _submit_query(self, worker: WorkerState, effect: SourceQuery) -> None:
+        if self._serve_from_cache(worker, effect):
+            return
         job = QueryJob(
             worker,
             effect,
             RetryState(self.engine, effect),
             self.engine.query_request_cost(effect),
+            generation=worker.generation,
         )
         self._enqueue_job(job)
+
+    def _serve_from_cache(
+        self, worker: WorkerState, effect: SourceQuery
+    ) -> bool:
+        """A cache hit never touches the source channel: no admission,
+        no slot, no batching — the worker gets its answer after the
+        (tiny) local serve cost.  ``answered_at`` is the serve instant,
+        so the pending-overlay compensation treats the answer exactly
+        like a real trip evaluated now: each concurrent message is
+        compensated exactly once (the PR 3 invariant, extended)."""
+        cache = self.engine.snapshot_cache
+        if cache is None or not effect.cacheable:
+            return False
+        hit = cache.serve(
+            self.engine.sources[effect.source_name], effect.query
+        )
+        if hit is None:
+            return False
+        now = self.engine.clock.now
+        channel = self.channels.get(effect.source_name)
+        self.cache_audit.append(
+            {
+                "at": now,
+                "worker": worker.index,
+                "source": effect.source_name,
+                "patched_rows": hit.patched_rows,
+                "channel_in_flight": (
+                    channel.in_flight if channel is not None else 0
+                ),
+                "channel_waiting": (
+                    len(channel.waiting) if channel is not None else 0
+                ),
+            }
+        )
+        worker.cache_serves += 1
+        self.engine.tracer.record(
+            now,
+            trace_kinds.QUERY,
+            f"{effect.source_name} -> {len(hit.table)} tuples "
+            f"(cache, worker {worker.index})",
+        )
+        serve_cost = self.engine.cost_model.cache_serve(hit.patched_rows)
+        self._charge_worker(worker, effect.kind, serve_cost)
+        answer = QueryAnswer(hit.table, now)
+        if serve_cost > 0:
+            self._resume_later(now + serve_cost, worker, answer)
+        else:
+            self._advance_process(worker, payload=answer)
+        return True
 
     def _enqueue_job(self, job: QueryJob) -> None:
         channel = self._channel(job.effect.source_name)
@@ -378,7 +474,7 @@ class ParallelScheduler(DynoScheduler):
     def _resubmit(self, job: QueryJob) -> None:
         """Retry round: re-price the request (source state may have
         drifted) and rejoin the channel line."""
-        if job.worker.process is None:
+        if job.stale or job.worker.process is None:
             return  # the unit was torn down meanwhile
         job.request_cost = self.engine.query_request_cost(job.effect)
         self._enqueue_job(job)
@@ -396,6 +492,7 @@ class ParallelScheduler(DynoScheduler):
             if combined > 0:
                 job.worker.busy_time += combined
                 metrics.worker_busy_time[job.worker.index] += combined
+        metrics.source_round_trips += 1
         if trip.is_batch:
             metrics.batch_round_trips += 1
             metrics.batched_queries += len(trip.jobs)
@@ -412,6 +509,11 @@ class ParallelScheduler(DynoScheduler):
         metrics = self.engine.metrics
         channel.release()
         for job in trip.jobs:
+            if job.stale or job.worker.process is None:
+                # The unit was torn down after this trip departed
+                # (abort, abandonment, or taint restart) — the answer
+                # has no consumer.
+                continue
             try:
                 result = self.engine.evaluate_query(job.effect)
             except TransientSourceError as exc:
@@ -446,12 +548,7 @@ class ParallelScheduler(DynoScheduler):
             self._charge_worker(job.worker, job.effect.kind, transfer)
             answer = QueryAnswer(result, now)
             if transfer > 0:
-                self.engine.schedule(
-                    now + transfer,
-                    lambda w=job.worker, a=answer: self._advance_process(
-                        w, payload=a
-                    ),
-                )
+                self._resume_later(now + transfer, job.worker, answer)
             else:
                 self._advance_process(job.worker, payload=answer)
         follow_up = channel.next_trip()
@@ -466,19 +563,39 @@ class ParallelScheduler(DynoScheduler):
         if unit.has_schema_change or unit.is_batch:
             self._barrier_in_flight = False
 
-    def _complete(self, worker: WorkerState) -> None:
-        unit = worker.release()
-        self.stats.processed_messages.extend(
-            (message.source, message.seqno) for message in unit
-        )
-        self._finish_barrier(unit)
-        if unit.has_schema_change:
-            # The rewrite committed: every cached footprint and every
-            # concurrent edge may be stale now (serial head-removal gets
-            # this rebuild from the UMQ listener; dispatch removed this
-            # unit before its maintenance ran).
-            self.substrate.rebuild()
-        self._last_broken_unit_ids = None
+    def _complete(self, worker: WorkerState, outcome: object) -> None:
+        """Park the prepared outcome; install when its turn comes.
+
+        Outcomes install strictly in dispatch order: a unit's delta
+        assumes every earlier-dispatched unit's delta is already in the
+        view, so installing out of order would transiently corrupt the
+        extent — and would make an earlier unit's requeue unrecoverable.
+        The worker stays busy while parked, keeping the unit visible to
+        the dispatch gate, the barrier rule, and taint restarts.
+        """
+        worker.outcome = outcome
+        worker.outcome_ready = True
+        self._drain_commit_queue()
+
+    def _drain_commit_queue(self) -> None:
+        while self._commit_order and self._commit_order[0].outcome_ready:
+            worker = self._commit_order.pop(0)
+            unit = worker.unit
+            assert unit is not None
+            self.manager.install_unit(worker.outcome, unit)
+            worker.release()
+            self.stats.processed_messages.extend(
+                (message.source, message.seqno) for message in unit
+            )
+            self._finish_barrier(unit)
+            if unit.has_schema_change:
+                # The rewrite committed: every cached footprint and
+                # every concurrent edge may be stale now (serial
+                # head-removal gets this rebuild from the UMQ listener;
+                # dispatch removed this unit before its maintenance
+                # ran).
+                self.substrate.rebuild()
+            self._last_broken_unit_ids = None
 
     def _abort(self, worker: WorkerState, broken: BrokenQueryError) -> None:
         now = self.engine.clock.now
@@ -500,8 +617,10 @@ class ParallelScheduler(DynoScheduler):
             f"wasted {wasted:.3f}s on {unit.describe()}",
         )
         self._teardown(worker)
+        self._restart_tainted()
         self.umq.requeue_front(unit)
         self._pending_policies.append((unit, broken))
+        self._drain_commit_queue()
 
     def _abandon(
         self, worker: WorkerState, down: SourceUnavailableError
@@ -517,13 +636,47 @@ class ParallelScheduler(DynoScheduler):
             f"{now - worker.dispatched_at:.3f}s: {down}",
         )
         self._teardown(worker)
+        self._restart_tainted()
         self.umq.requeue_front(unit)
         self._classify_transient(down)
+        self._drain_commit_queue()
+
+    def _restart_tainted(self) -> None:
+        """Restart every dispatched unit that consumed a query answer.
+
+        Called when a unit U requeues: U is re-serialized *behind* the
+        in-flight units, but any unit that already consumed an answer
+        compensated that answer with U absent from its pending overlay
+        — it treated U as serialized before itself, which U's requeue
+        just falsified.  Its partial (or parked) computation is
+        discarded and the unit requeued for a clean pass.  Units with
+        no answers consumed are untouched: their live pending overlay
+        picks U up via the requeue listener before any compensation
+        runs.
+        """
+        tainted = [
+            candidate
+            for candidate in self.pool.workers
+            if candidate.unit is not None and candidate.answers_seen > 0
+        ]
+        for candidate in tainted:
+            unit = candidate.unit
+            self.stats.tainted_restarts += 1
+            self.engine.tracer.record(
+                self.engine.clock.now,
+                trace_kinds.ABORT,
+                f"taint restart of {unit.describe()} "
+                f"(worker {candidate.index})",
+            )
+            self._teardown(candidate)
+            self.umq.requeue_front(unit)
 
     def _teardown(self, worker: WorkerState) -> None:
         process = worker.process
         if process is not None:
             process.close()
+        if worker in self._commit_order:
+            self._commit_order.remove(worker)
         unit = worker.release()
         self._finish_barrier(unit)
 

@@ -78,10 +78,24 @@ class SchedulerStats:
     )
     #: quarantined sources brought back into service
     resumed_sources: int = 0
+    #: in-flight/parked units restarted because a unit they had treated
+    #: as serialized-before requeued (parallel executor only)
+    tainted_restarts: int = 0
     #: maintenance units newly parked behind the active queue because
     #: they depend on a quarantined source (each unit counted once per
     #: stay in the deferred set, not once per deferral round)
     deferred_units: int = 0
+    # -- snapshot cache (mirrors of engine metrics) --------------------
+    #: maintenance queries answered without a round trip
+    cache_hits: int = 0
+    #: cacheable queries that paid a real trip
+    cache_misses: int = 0
+    #: cache answers patched forward through gap deltas
+    patched_answers: int = 0
+    #: cache entries dropped by a schema change in the version gap
+    cache_invalidations_sc: int = 0
+    #: maintenance queries that actually travelled to a source
+    source_round_trips: int = 0
 
 
 class DynoScheduler:
@@ -459,6 +473,11 @@ class DynoScheduler:
         self.stats.retries = metrics.retries
         self.stats.backoff_time = metrics.backoff_time
         self.stats.transient_failures = metrics.transient_failures
+        self.stats.cache_hits = metrics.cache_hits
+        self.stats.cache_misses = metrics.cache_misses
+        self.stats.patched_answers = metrics.patched_answers
+        self.stats.cache_invalidations_sc = metrics.cache_invalidations_sc
+        self.stats.source_round_trips = metrics.source_round_trips
 
     # ------------------------------------------------------------------
     # the Dyno loop

@@ -5,6 +5,7 @@ from .ablations import (
     run_graph_scaling_ablation,
     run_incremental_detection_ablation,
     run_parallel_ablation,
+    run_snapshot_cache_ablation,
 )
 from .fig08 import run_figure as run_fig08
 from .fig09 import run_figure as run_fig09
@@ -29,5 +30,6 @@ __all__ = [
     "run_graph_scaling_ablation",
     "run_incremental_detection_ablation",
     "run_parallel_ablation",
+    "run_snapshot_cache_ablation",
     "run_starvation_study",
 ]

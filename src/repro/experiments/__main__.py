@@ -26,6 +26,7 @@ from . import (
     run_graph_scaling_ablation,
     run_incremental_detection_ablation,
     run_parallel_ablation,
+    run_snapshot_cache_ablation,
     run_starvation_study,
 )
 from .fig08 import QUICK_DU_COUNTS as FIG8_QUICK
@@ -37,33 +38,45 @@ _QUICK_TUPLES = 500
 _FULL_TUPLES = 2000
 
 
-def _runners(full: bool, seed: int | None = None) -> dict:
+def _runners(
+    full: bool,
+    seed: int | None = None,
+    snapshot_cache: bool = False,
+) -> dict:
     tuples = _FULL_TUPLES if full else _QUICK_TUPLES
     # --seed overrides the workload seed of every runner that draws a
     # randomized stream (fig09's workload is deterministic); the value
     # threads through Testbed.random_du_workload and friends.
     seeded = {} if seed is None else {"seed": seed}
+    # --cache turns the snapshot cache on for every figure runner, so
+    # each chart can be produced in both arms; the ablations manage the
+    # cache themselves (ABL-7 runs both arms internally).
+    cached = {"snapshot_cache": snapshot_cache}
     return {
         "fig08": lambda: run_fig08(
             tuples_per_relation=tuples,
             **({} if full else {"du_counts": FIG8_QUICK}),
             **seeded,
+            **cached,
         ),
-        "fig09": lambda: run_fig09(tuples_per_relation=tuples),
+        "fig09": lambda: run_fig09(tuples_per_relation=tuples, **cached),
         "fig10": lambda: run_fig10(
             tuples_per_relation=tuples,
             **({} if full else {"intervals": FIG10_QUICK, "du_count": 60}),
             **seeded,
+            **cached,
         ),
         "fig11": lambda: run_fig11(
             tuples_per_relation=tuples,
             **({} if full else {"sc_counts": FIG11_QUICK, "du_count": 60}),
             **seeded,
+            **cached,
         ),
         "fig12": lambda: run_fig12(
             tuples_per_relation=tuples,
             **({} if full else {"du_counts": FIG12_QUICK}),
             **seeded,
+            **cached,
         ),
         "abl-blind-merge": lambda: run_blind_merge_ablation(
             tuples_per_relation=tuples,
@@ -84,6 +97,14 @@ def _runners(full: bool, seed: int | None = None) -> dict:
         "abl-parallel": lambda: run_parallel_ablation(
             **(
                 {"du_count": 80, "tuples_per_relation": 400}
+                if full
+                else {}
+            ),
+            **seeded,
+        ),
+        "abl-snapshot-cache": lambda: run_snapshot_cache_ablation(
+            **(
+                {"du_counts": (120, 240, 480), "tuples_per_relation": 400}
                 if full
                 else {}
             ),
@@ -113,9 +134,25 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="override the workload seed of every randomized runner",
     )
+    cache_group = parser.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--cache",
+        dest="snapshot_cache",
+        action="store_true",
+        help="run every figure with the snapshot cache enabled",
+    )
+    cache_group.add_argument(
+        "--no-cache",
+        dest="snapshot_cache",
+        action="store_false",
+        help="run without the snapshot cache (the default)",
+    )
+    parser.set_defaults(snapshot_cache=False)
     arguments = parser.parse_args(argv)
 
-    runners = _runners(arguments.full, arguments.seed)
+    runners = _runners(
+        arguments.full, arguments.seed, arguments.snapshot_cache
+    )
     requested = (
         list(runners) if "all" in arguments.figures else arguments.figures
     )

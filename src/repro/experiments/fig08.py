@@ -31,6 +31,7 @@ def run_figure(
     tuples_per_relation: int = 2000,
     du_interval: float = 0.2,
     seed: int = 7,
+    snapshot_cache: bool = False,
 ) -> FigureResult:
     result = FigureResult(
         figure_id="FIG-8",
@@ -45,7 +46,9 @@ def run_figure(
             ("without_detection", NAIVE),
         ):
             testbed = build_testbed(
-                strategy, tuples_per_relation=tuples_per_relation
+                strategy,
+                tuples_per_relation=tuples_per_relation,
+                snapshot_cache=snapshot_cache,
             )
             testbed.engine.schedule_workload(
                 testbed.random_du_workload(

@@ -44,8 +44,13 @@ def _run_one(
     strategy: Strategy,
     spacing: float,
     tuples_per_relation: int,
+    snapshot_cache: bool = False,
 ) -> tuple[float, float, bool]:
-    testbed = build_testbed(strategy, tuples_per_relation=tuples_per_relation)
+    testbed = build_testbed(
+        strategy,
+        tuples_per_relation=tuples_per_relation,
+        snapshot_cache=snapshot_cache,
+    )
     workload = Workload()
     if workload_kind == "du_sc":
         du_intent = testbed.random_du_workload(1, 0.0, 1.0).items[0].intent
@@ -72,6 +77,7 @@ def _run_one(
 def run_figure(
     tuples_per_relation: int = 2000,
     conflict_spacing: float = 0.0,
+    snapshot_cache: bool = False,
 ) -> FigureResult:
     """``conflict_spacing`` = 0 commits both updates at the same instant
     (they flood the UMQ together, the paper's conflicting setup)."""
@@ -86,13 +92,25 @@ def run_figure(
         ("sc_sc", "One SC + One SC"),
     ):
         no_concurrency, _, ok0 = _run_one(
-            kind, PESSIMISTIC, NO_CONCURRENCY_SPACING, tuples_per_relation
+            kind,
+            PESSIMISTIC,
+            NO_CONCURRENCY_SPACING,
+            tuples_per_relation,
+            snapshot_cache,
         )
         pessimistic, _, ok1 = _run_one(
-            kind, PESSIMISTIC, conflict_spacing, tuples_per_relation
+            kind,
+            PESSIMISTIC,
+            conflict_spacing,
+            tuples_per_relation,
+            snapshot_cache,
         )
         optimistic, abort, ok2 = _run_one(
-            kind, OPTIMISTIC, conflict_spacing, tuples_per_relation
+            kind,
+            OPTIMISTIC,
+            conflict_spacing,
+            tuples_per_relation,
+            snapshot_cache,
         )
         if not (ok0 and ok1 and ok2):
             result.consistent = False

@@ -103,11 +103,19 @@ class Testbed:
         interval: float,
         insert_fraction: float = 0.8,
         seed: int = 7,
+        key_domain: int | None = None,
     ) -> Workload:
         """Mixed insert/delete data updates, keys drawn from the live
-        key domain so most updates touch the view."""
+        key domain so most updates touch the view.
+
+        ``key_domain`` narrows inserted keys to ``1..key_domain``
+        (default: the full ``1..tuples_per_relation`` range).  A small
+        domain makes updates collide on join keys — the hot-key regime
+        where adjacent maintenance passes probe for the same keys and
+        the snapshot cache pays off.
+        """
         rng = random.Random(seed)
-        n = self.tuples_per_relation
+        n = key_domain or self.tuples_per_relation
         workload = Workload()
         for index in range(count):
             at = start + index * interval
@@ -157,6 +165,7 @@ def build_testbed(
     seed: int = 3,
     backend: str = "memory",
     parallel_workers: int | None = None,
+    snapshot_cache: bool = False,
 ) -> Testbed:
     """Create sources, load data, define the 6-way join view.
 
@@ -171,9 +180,16 @@ def build_testbed(
     serial *arm* of the parallel model — same dispatch overheads and
     event machinery, no concurrency — which is the honest baseline for
     makespan comparisons.
+
+    ``snapshot_cache`` arms the version-stamped snapshot cache
+    (:mod:`repro.cache`): maintenance probes repeated across units are
+    answered locally, patched forward through the committed deltas in
+    the version gap, instead of paying a source round trip.
     """
     cost = cost_model or CostModel.calibrated(tuples_per_relation)
     engine = SimEngine(cost)
+    if snapshot_cache:
+        engine.install_snapshot_cache()
     rng = random.Random(seed)
 
     if backend == "memory":

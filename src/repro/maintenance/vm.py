@@ -124,8 +124,13 @@ def maintain_data_update(
 
             # Indexed IN-list probes may coalesce with probes from other
             # concurrently maintained units against the same source.
+            # Both probes and scans bind a single relation, so the
+            # snapshot cache can patch them forward locally.
             answer = yield SourceQuery(
-                ref.source, source_query, batchable=bool(joins)
+                ref.source,
+                source_query,
+                batchable=bool(joins),
+                cacheable=True,
             )
             assert isinstance(answer, QueryAnswer)
 

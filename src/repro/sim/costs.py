@@ -46,6 +46,12 @@ class CostModel:
     #: fixed overhead of re-issuing a maintenance query after a
     #: transient failure (connection re-establishment, request resend)
     retry_overhead: float = 0.002
+    #: serving a maintenance-query answer from the local snapshot cache
+    #: (lookup + version comparison; no network, no source execution)
+    cache_hit: float = 0.0005
+    #: applying one gap-delta tuple while patching a stale cached
+    #: answer forward to the current source version
+    patch_per_row: float = 0.00005
     #: pre-exec detection: checking the schema-change flag
     detection_flag_check: float = 0.00001
     #: building one dependency-graph node
@@ -96,6 +102,11 @@ class CostModel:
         sleep the :class:`~repro.faults.retry.RetryPolicy` prescribed."""
         return self.retry_overhead + backoff
 
+    def cache_serve(self, patched_rows: int) -> float:
+        """One snapshot-cache answer: local lookup plus forward-patch
+        work — strictly cheaper than ``query_base`` by construction."""
+        return self.cache_hit + patched_rows * self.patch_per_row
+
     def detection(self, nodes: int, edges: int) -> float:
         return (
             nodes * self.detection_per_node + edges * self.detection_per_edge
@@ -142,6 +153,8 @@ class CostModel:
             vs_rewrite=2.0,
             va_base=1.0,
             va_per_tuple=2.0 / n,
+            cache_hit=0.002,
+            patch_per_row=0.1 / n,
         )
 
     @classmethod
@@ -158,6 +171,8 @@ class CostModel:
             va_base=0.0,
             va_per_tuple=0.0,
             retry_overhead=0.0,
+            cache_hit=0.0,
+            patch_per_row=0.0,
             detection_flag_check=0.0,
             detection_per_node=0.0,
             detection_per_edge=0.0,

@@ -57,6 +57,10 @@ class SourceQuery(Effect):
     #: source (one combined round trip, ``query_base`` charged once);
     #: full-relation scans and adaptation reads never batch
     batchable: bool = False
+    #: eligible for the snapshot cache (single-relation probes/scans the
+    #: view manager can patch forward locally); opt-in per yield site so
+    #: ad-hoc queries in tests and examples keep exact trip counts
+    cacheable: bool = False
 
 
 @dataclass(frozen=True)

@@ -74,6 +74,10 @@ class SimEngine:
         self.tracer = Tracer(enabled=trace)
         self.injector: "FaultInjector | None" = None
         self.retry_policy: "RetryPolicy | None" = retry_policy
+        #: optional snapshot cache; ``None`` means every maintenance
+        #: query pays a real round trip (the default — callers opt in
+        #: via :meth:`install_snapshot_cache`)
+        self.snapshot_cache: "SnapshotCache | None" = None
         if injector is not None:
             self.install_faults(injector, retry_policy)
 
@@ -111,6 +115,21 @@ class SimEngine:
     def _fault_gate(self, source_name: str) -> None:
         if self.injector is not None:
             self.injector.on_query(source_name, self.clock.now)
+
+    def install_snapshot_cache(
+        self, cache: "SnapshotCache | None" = None
+    ) -> "SnapshotCache":
+        """Arm the self-maintenance fast path: cacheable maintenance
+        queries are answered from a version-stamped local snapshot (see
+        :mod:`repro.cache.snapshot`) whenever possible, skipping the
+        round trip entirely.  Serial and parallel query paths both
+        consult the installed cache."""
+        from ..cache.snapshot import SnapshotCache
+
+        self.snapshot_cache = cache or SnapshotCache(metrics=self.metrics)
+        if self.snapshot_cache.metrics is None:
+            self.snapshot_cache.metrics = self.metrics
+        return self.snapshot_cache
 
     def source(self, name: str) -> DataSource:
         return self.sources[name]
@@ -220,6 +239,9 @@ class SimEngine:
         """
         from ..sources.errors import TransientSourceError
 
+        hit = self.cached_answer(effect)
+        if hit is not None:
+            return hit
         state = RetryState(self, effect)
         while True:
             try:
@@ -237,6 +259,36 @@ class SimEngine:
                 self.advance_by(pause)
 
     # -- query-path building blocks (shared with the parallel workers) --
+
+    def cached_answer(self, effect: SourceQuery) -> QueryAnswer | None:
+        """Serve a cacheable query from the snapshot cache, if armed.
+
+        The answer is pinned at the *entry* instant — the cache patches
+        it forward through every commit `<= now`, so it equals what a
+        zero-latency round trip would have returned — and only then is
+        the (tiny) serve cost charged, exactly like the transfer window
+        of a real trip: commits firing during the charge have
+        ``committed_at > answered_at`` and are correctly neither in the
+        answer nor compensated.
+        """
+        if self.snapshot_cache is None or not effect.cacheable:
+            return None
+        hit = self.snapshot_cache.serve(
+            self.sources[effect.source_name], effect.query
+        )
+        if hit is None:
+            return None
+        answered_at = self.clock.now
+        self.tracer.record(
+            answered_at,
+            trace_kinds.QUERY,
+            f"{effect.source_name} -> {len(hit.table)} tuples "
+            f"(cache{', patched' if hit.patched else ''})",
+        )
+        serve_cost = self.cost_model.cache_serve(hit.patched_rows)
+        self.metrics.charge(effect.kind, serve_cost)
+        self.advance_by(serve_cost)
+        return QueryAnswer(hit.table, answered_at)
 
     def query_request_cost(self, effect: SourceQuery) -> float:
         """Virtual cost of shipping+executing the request at the source
@@ -256,7 +308,14 @@ class SimEngine:
         """Evaluate against the source's *current* state — the caller
         must have advanced the clock to the answer instant first.  May
         raise BrokenQueryError / TransientSourceError."""
-        result = self.sources[effect.source_name].execute(effect.query)
+        source = self.sources[effect.source_name]
+        result = source.execute(effect.query)
+        if self.snapshot_cache is not None and effect.cacheable:
+            # Stamp with the version at the evaluation instant: the
+            # answer reflects exactly the commits in log[:version].
+            self.snapshot_cache.store(
+                source, effect.query, result, source.commit_version
+            )
         self.tracer.record(
             self.clock.now,
             trace_kinds.QUERY,
@@ -270,6 +329,7 @@ class SimEngine:
     def _attempt_query(self, effect: SourceQuery) -> QueryAnswer:
         # The request/execution window: autonomous commits inside it are
         # visible to (or break) the query.
+        self.metrics.source_round_trips += 1
         request_cost = self.query_request_cost(effect)
         self.metrics.charge(effect.kind, request_cost)
         self.advance_by(request_cost)

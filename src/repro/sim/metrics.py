@@ -71,6 +71,21 @@ class Metrics:
     batched_queries: int = 0
     #: combined IN-list round trips issued on behalf of >= 2 units
     batch_round_trips: int = 0
+    #: maintenance queries that actually travelled to a source (every
+    #: attempt, including retries and batched combined trips)
+    source_round_trips: int = 0
+    #: maintenance queries answered by the snapshot cache
+    cache_hits: int = 0
+    #: cacheable queries the snapshot cache could not answer
+    cache_misses: int = 0
+    #: cache hits that required forward delta patching (stale stamp)
+    patched_answers: int = 0
+    #: round trips the snapshot cache avoided (== cache_hits; kept as
+    #: its own counter so summaries read directly)
+    saved_round_trips: int = 0
+    #: cache entries dropped because a schema change committed in the
+    #: version gap (broken-query semantics preserved, Thm. 1)
+    cache_invalidations_sc: int = 0
     #: broken-query anomalies by Section 3.1 type (3 = SC vs M(DU),
     #: 4 = SC vs M(SC)); types 1-2 never abort — they are absorbed by
     #: compensation and visible in the manager's CompensationLog
@@ -127,6 +142,12 @@ class Metrics:
             "peak_parallelism": self.peak_parallelism,
             "batched_queries": self.batched_queries,
             "batch_round_trips": self.batch_round_trips,
+            "source_round_trips": self.source_round_trips,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "patched_answers": self.patched_answers,
+            "saved_round_trips": self.saved_round_trips,
+            "cache_invalidations_sc": self.cache_invalidations_sc,
             "worker_utilization": self.worker_utilization(),
             "anomalies": {
                 kind.name: count for kind, count in self.anomalies.items()

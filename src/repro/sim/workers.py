@@ -56,6 +56,21 @@ class WorkerState:
     _pending_ids: set[int] = field(default_factory=set)
     #: total busy virtual time across all units (utilization metric)
     busy_time: float = 0.0
+    #: maintenance queries this worker had answered by the snapshot
+    #: cache (zero channel occupancy, no trip)
+    cache_serves: int = 0
+    #: assignment epoch: bumped on every assign/release so that events
+    #: scheduled for a torn-down (or since-reassigned) worker can detect
+    #: they are stale and do nothing
+    generation: int = 0
+    #: query answers this worker's process has consumed for the current
+    #: unit — an answer consumed before a unit requeue may have baked
+    #: the requeued unit's effect in as "serialized before", so any
+    #: worker with ``answers_seen > 0`` must restart on requeue
+    answers_seen: int = 0
+    #: prepared outcome parked until this unit's turn in dispatch order
+    outcome: object = None
+    outcome_ready: bool = False
 
     @property
     def idle(self) -> bool:
@@ -71,6 +86,10 @@ class WorkerState:
         self.unit = unit
         self.process = process
         self.dispatched_at = at
+        self.generation += 1
+        self.answers_seen = 0
+        self.outcome = None
+        self.outcome_ready = False
         self.pending = []
         self._pending_ids = set()
         for message in pending:
@@ -91,6 +110,10 @@ class WorkerState:
         assert unit is not None
         self.unit = None
         self.process = None
+        self.generation += 1
+        self.answers_seen = 0
+        self.outcome = None
+        self.outcome_ready = False
         self.pending = []
         self._pending_ids = set()
         return unit
@@ -105,6 +128,14 @@ class QueryJob:
     retry: RetryState
     #: request cost of this job alone (``query_base`` + per-probe/scan)
     request_cost: float = 0.0
+    #: the worker's assignment epoch at submission; a mismatch at any
+    #: later step means the unit was torn down (abort/abandon/restart)
+    #: and this job is stale
+    generation: int = 0
+
+    @property
+    def stale(self) -> bool:
+        return self.worker.generation != self.generation
 
 
 @dataclass
@@ -162,7 +193,14 @@ class SourceChannel:
         return self.next_trip()
 
     def next_trip(self) -> Trip | None:
-        """Form the next trip from the waiting line, if a slot is free."""
+        """Form the next trip from the waiting line, if a slot is free.
+
+        Jobs whose unit was torn down while they waited (stale
+        generation) are silently discarded — their worker has been
+        released or reassigned and nobody is listening for the answer.
+        """
+        while self.waiting and self.waiting[0].stale:
+            self.waiting.popleft()
         if not self.waiting or not self.has_capacity:
             return None
         head = self.waiting.popleft()
@@ -171,6 +209,8 @@ class SourceChannel:
             rest: deque[QueryJob] = deque()
             while self.waiting:
                 job = self.waiting.popleft()
+                if job.stale:
+                    continue
                 if job.effect.batchable:
                     jobs.append(job)
                 else:

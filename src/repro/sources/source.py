@@ -204,6 +204,22 @@ class DataSource:
     # introspection
     # ------------------------------------------------------------------
 
+    @property
+    def commit_version(self) -> int:
+        """Monotone commit version: the number of committed updates.
+
+        Bumped by every committed DU/SC (a failed apply raises before
+        logging, so the version only moves on success).  Snapshot-cache
+        entries are stamped with this counter, and
+        :meth:`updates_since` enumerates exactly the commits a stamped
+        answer is missing.
+        """
+        return len(self.log)
+
+    def updates_since(self, version: int) -> list[UpdateMessage]:
+        """Committed messages in the gap ``(version, current]``."""
+        return self.log[version:]
+
     def schema_of(self, relation: str) -> RelationSchema:
         return self.catalog.schema(relation)
 

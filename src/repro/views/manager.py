@@ -121,6 +121,23 @@ class ViewManager:
     def metrics(self) -> Metrics:
         return self.engine.metrics
 
+    @property
+    def snapshot_cache(self):
+        """The engine's snapshot cache (``None`` when not armed).
+
+        The cache lives on the engine so that every view manager sharing
+        the engine — e.g. the views of a
+        :class:`~repro.views.multi.MultiViewManager` — shares one memo:
+        a probe paid for by one view's maintenance answers the same
+        probe from every other view.
+        """
+        return self.engine.snapshot_cache
+
+    def install_snapshot_cache(self):
+        """Arm the self-maintenance fast path (delegates to the engine;
+        see :meth:`~repro.sim.engine.SimEngine.install_snapshot_cache`)."""
+        return self.engine.install_snapshot_cache()
+
     def _schema_lookup(
         self, source: str, relation: str
     ) -> RelationSchema | None:
@@ -244,9 +261,23 @@ class ViewManager:
         ``umq.messages_behind`` no longer answers for it — the executor
         supplies the dispatch-time snapshot plus later arrivals instead.
         """
-        outcome = yield from self.compute_maintenance(unit, pending_feed)
-        self.apply_outcome(outcome, counted_updates=len(unit))
+        outcome = yield from self.compute_unit(unit, pending_feed)
+        self.install_unit(outcome, unit)
         return outcome
+
+    def compute_unit(
+        self, unit: MaintenanceUnit, pending_feed=None
+    ) -> MaintenanceProcess:
+        """Manager-agnostic compute seam (same protocol as
+        :meth:`~repro.views.multi.MultiViewManager.compute_unit`): the
+        parallel executor drives this generator, holds the returned
+        prepared outcome, and calls :meth:`install_unit` only when the
+        unit's turn comes in dispatch order."""
+        return self.compute_maintenance(unit, pending_feed)
+
+    def install_unit(self, prepared, unit: MaintenanceUnit) -> None:
+        """Install a prepared outcome from :meth:`compute_unit`."""
+        self.apply_outcome(prepared, counted_updates=len(unit))
 
     def compute_maintenance(
         self, unit: MaintenanceUnit, pending_feed=None

@@ -81,6 +81,16 @@ class MultiViewManager:
     def metrics(self) -> Metrics:
         return self.engine.metrics
 
+    @property
+    def snapshot_cache(self):
+        """The shared snapshot cache (one memo across all views): a
+        probe answered for one view's maintenance serves the identical
+        probe issued by every sibling view."""
+        return self.engine.snapshot_cache
+
+    def install_snapshot_cache(self):
+        return self.engine.install_snapshot_cache()
+
     def manager_for(self, view_name: str) -> ViewManager:
         for manager in self.managers:
             if manager.view.name == view_name:
@@ -126,16 +136,29 @@ class MultiViewManager:
         phase aborts the whole unit with no view touched; the update is
         counted as maintained exactly once.
         """
+        outcomes = yield from self.compute_unit(unit, pending_feed)
+        self.install_unit(outcomes, unit)
+        return outcomes
+
+    def compute_unit(
+        self, unit: MaintenanceUnit, pending_feed=None
+    ) -> MaintenanceProcess:
+        """Compute (but do not install) one unit's effect on every view."""
         outcomes: list[MaintenanceOutcome] = []
         for manager in self.managers:
             outcome = yield from manager.compute_maintenance(
                 unit, pending_feed
             )
             outcomes.append(outcome)
+        return outcomes
+
+    def install_unit(
+        self, prepared: list[MaintenanceOutcome], unit: MaintenanceUnit
+    ) -> None:
+        """Install every view's prepared outcome atomically."""
         for index, (manager, outcome) in enumerate(
-            zip(self.managers, outcomes)
+            zip(self.managers, prepared)
         ):
             manager.apply_outcome(
                 outcome, counted_updates=len(unit) if index == 0 else 0
             )
-        return outcomes

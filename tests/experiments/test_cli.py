@@ -30,7 +30,7 @@ class TestExecution:
             def table(self):
                 return "FAKE TABLE"
 
-        def fake_runners(full, seed=None):
+        def fake_runners(full, seed=None, snapshot_cache=False):
             return {"fig09": lambda: calls.append(full) or FakeResult()}
 
         monkeypatch.setattr(cli, "_runners", fake_runners)
@@ -50,7 +50,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None: {
+            lambda full, seed=None, snapshot_cache=False: {
                 "fig09": lambda: seen.append(full) or FakeResult()
             },
         )
@@ -69,13 +69,38 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None: {
+            lambda full, seed=None, snapshot_cache=False: {
                 "fig09": lambda: seen.append(seed) or FakeResult()
             },
         )
         cli.main(["fig09", "--seed", "42"])
         cli.main(["fig09"])
         assert seen == [42, None]
+
+    def test_cache_flag_threaded_through(self, monkeypatch):
+        seen = []
+
+        class FakeResult:
+            consistent = True
+
+            def table(self):
+                return ""
+
+        monkeypatch.setattr(
+            cli,
+            "_runners",
+            lambda full, seed=None, snapshot_cache=False: {
+                "fig09": lambda: seen.append(snapshot_cache) or FakeResult()
+            },
+        )
+        cli.main(["fig09", "--cache"])
+        cli.main(["fig09", "--no-cache"])
+        cli.main(["fig09"])
+        assert seen == [True, False, False]
+
+    def test_cache_flags_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig09", "--cache", "--no-cache"])
 
     def test_all_runs_everything(self, monkeypatch):
         ran = []
@@ -89,7 +114,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None: {
+            lambda full, seed=None, snapshot_cache=False: {
                 name: (lambda n=name: ran.append(n) or FakeResult())
                 for name in ("fig09", "fig10")
             },
@@ -105,6 +130,6 @@ class TestExecution:
                 return ""
 
         monkeypatch.setattr(
-            cli, "_runners", lambda full, seed=None: {"fig09": BadResult}
+            cli, "_runners", lambda full, seed=None, snapshot_cache=False: {"fig09": BadResult}
         )
         assert cli.main(["fig09"]) == 1

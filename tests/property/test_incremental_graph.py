@@ -105,6 +105,11 @@ def op_sequences(draw):
                 ),
                 st.tuples(st.just("remove_head"), st.just(0)),
                 st.tuples(
+                    st.just("remove_unit"),
+                    st.integers(min_value=0, max_value=2**16),
+                ),
+                st.tuples(st.just("requeue"), st.just(0)),
+                st.tuples(
                     st.just("reorder"),
                     st.integers(min_value=0, max_value=2**16),
                 ),
@@ -155,9 +160,13 @@ def _check_equivalence(
 @given(op_sequences())
 @settings(max_examples=60, deadline=None)
 def test_incremental_graph_matches_from_scratch_oracle(ops):
+    """Every mutation path — including the parallel dispatcher's
+    mid-queue ``remove_unit`` and the abort path's ``requeue_front`` —
+    must leave the substrate bit-identical to a from-scratch rebuild."""
     umq = UpdateMessageQueue()
     incremental = IncrementalDependencyGraph(umq, lambda: (QUERY,))
     stream = _Stream()
+    removed: list[MaintenanceUnit] = []
     for kind, argument in ops:
         if kind == "du":
             umq.receive(stream.data_update(argument))
@@ -167,7 +176,16 @@ def test_incremental_graph_matches_from_scratch_oracle(ops):
             umq.receive(stream.rename_relation(argument))
         elif kind == "remove_head":
             if not umq.is_empty():
-                umq.remove_head()
+                removed.append(umq.remove_head())
+        elif kind == "remove_unit":
+            if not umq.is_empty():
+                units = umq.units
+                removed.append(
+                    umq.remove_unit(units[argument % len(units)])
+                )
+        elif kind == "requeue":
+            if removed:
+                umq.requeue_front(removed.pop())
         elif kind == "reorder":
             if not umq.is_empty():
                 umq.replace_order(_reordered_units(umq, argument))

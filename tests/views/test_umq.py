@@ -113,6 +113,116 @@ class TestReorder:
             )
 
 
+class _Recorder:
+    """UMQListener that logs every notification in order."""
+
+    def __init__(self):
+        self.events = []
+
+    def umq_received(self, message):
+        self.events.append(("received", message))
+
+    def umq_removed_head(self, unit):
+        self.events.append(("removed_head", unit))
+
+    def umq_reordered(self, units):
+        self.events.append(("reordered", tuple(units)))
+
+    def umq_removed_unit(self, unit, index):
+        self.events.append(("removed_unit", unit, index))
+
+    def umq_requeued_front(self, unit):
+        self.events.append(("requeued_front", unit))
+
+
+class TestListeners:
+    def _queue(self, count=3):
+        umq = UpdateMessageQueue()
+        messages = [du(seqno) for seqno in range(1, count + 1)]
+        for message in messages:
+            umq.receive(message)
+        recorder = _Recorder()
+        umq.add_listener(recorder)
+        return umq, messages, recorder
+
+    def test_receive_notifies_with_message(self):
+        umq, _, recorder = self._queue(0)
+        message = du(1)
+        umq.receive(message)
+        assert recorder.events == [("received", message)]
+
+    def test_remove_head_notifies_with_unit(self):
+        umq, _, recorder = self._queue(2)
+        unit = umq.remove_head()
+        assert recorder.events == [("removed_head", unit)]
+
+    def test_remove_unit_mid_queue_notifies_with_vacated_index(self):
+        umq, messages, recorder = self._queue(3)
+        middle = umq.units[1]
+        umq.remove_unit(middle)
+        assert recorder.events == [("removed_unit", middle, 1)]
+        # Survivors keep consistent positions and flat-message cache.
+        assert umq.messages() == [messages[0], messages[2]]
+        assert umq.position_of(messages[0]) == 0
+        assert umq.position_of(messages[2]) == 1
+
+    def test_remove_unit_at_head_fires_head_event(self):
+        umq, _, recorder = self._queue(2)
+        head = umq.units[0]
+        umq.remove_unit(head)
+        # Head-position removal takes the O(1) path and reports itself
+        # as a head removal, not a mid-queue one.
+        assert recorder.events == [("removed_head", head)]
+
+    def test_remove_unknown_unit_fires_nothing(self):
+        umq, _, recorder = self._queue(1)
+        with pytest.raises(UMQError):
+            umq.remove_unit(MaintenanceUnit([du(9)]))
+        assert recorder.events == []
+
+    def test_requeue_front_notifies_and_restores_positions(self):
+        umq, messages, recorder = self._queue(3)
+        middle = umq.units[1]
+        umq.remove_unit(middle)
+        umq.requeue_front(middle)
+        assert recorder.events == [
+            ("removed_unit", middle, 1),
+            ("requeued_front", middle),
+        ]
+        assert umq.head() is middle
+        assert umq.messages() == [messages[1], messages[0], messages[2]]
+        assert umq.position_of(messages[1]) == 0
+        assert umq.position_of(messages[0]) == 1
+        assert umq.messages_behind(middle) == [messages[0], messages[2]]
+
+    def test_requeue_of_queued_messages_rejected_without_event(self):
+        umq, _, recorder = self._queue(1)
+        with pytest.raises(UMQError):
+            umq.requeue_front(umq.units[0])
+        assert recorder.events == []
+
+    def test_requeue_does_not_count_as_arrival(self):
+        umq, _, _ = self._queue(2)
+        unit = umq.remove_head()
+        received_before = umq.received_messages
+        umq.requeue_front(unit)
+        assert umq.received_messages == received_before
+        assert not umq.new_schema_change_flag
+
+    def test_removed_listener_stops_receiving(self):
+        umq, _, recorder = self._queue(1)
+        umq.remove_listener(recorder)
+        umq.receive(du(5))
+        umq.remove_head()
+        assert recorder.events == []
+
+    def test_add_listener_is_idempotent(self):
+        umq, _, recorder = self._queue(0)
+        umq.add_listener(recorder)  # second registration is a no-op
+        umq.receive(du(1))
+        assert len(recorder.events) == 1
+
+
 class TestMaintenanceUnit:
     def test_single(self):
         unit = MaintenanceUnit.single(du(1))
