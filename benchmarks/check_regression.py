@@ -19,18 +19,26 @@ Rules, per figure present in *both* directories:
 Figures without a baseline are reported but never fail the check (new
 benchmarks land before their baseline does); a baseline without a
 result means CI stopped producing a guarded figure, which *does* fail.
+
+As a side effect the checker consolidates every ``abl-*.json`` result
+into ``BENCH_ablations.json`` at the repository root — one record per
+ablation run (name, key metric and its value at the heaviest x,
+consistency bit, commit) — which CI uploads as the perf-trajectory
+artifact.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 
 BENCH_DIR = Path(__file__).parent
 RESULTS_DIR = BENCH_DIR / "results"
 BASELINES_DIR = BENCH_DIR / "baselines"
+TRAJECTORY_PATH = BENCH_DIR.parent / "BENCH_ablations.json"
 
 
 def _load(path: Path) -> dict:
@@ -82,6 +90,58 @@ def check_figure(
     return failures
 
 
+def _current_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=BENCH_DIR.parent,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def write_trajectory(results_dir: Path, output_path: Path) -> int:
+    """Consolidate ``abl-*.json`` results into one trajectory file.
+
+    Each record carries the figure's *key metric*: the first speedup
+    series (evaluated at the heaviest x), or — for figures with no
+    speedup series — the last series at the heaviest x.  Returns the
+    number of records written.
+    """
+    commit = _current_commit()
+    records = []
+    for result_path in sorted(results_dir.glob("abl-*.json")):
+        figure = _load(result_path)
+        points = figure.get("points", [])
+        if not points:
+            continue
+        speedups = _speedup_series(figure)
+        series_names = figure.get("series_names", [])
+        key = speedups[0] if speedups else (
+            series_names[-1] if series_names else None
+        )
+        heaviest = points[-1]
+        records.append(
+            {
+                "name": result_path.stem,
+                "figure_id": figure.get("figure_id", result_path.stem),
+                "key_metric": key,
+                "value": heaviest["values"].get(key),
+                "x": heaviest["x"],
+                "consistent": figure.get("consistent", True),
+                "commit": commit,
+            }
+        )
+    output_path.write_text(
+        json.dumps({"ablations": records}, indent=2, sort_keys=True)
+        + "\n"
+    )
+    return len(records)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -105,7 +165,18 @@ def main(argv: list[str] | None = None) -> int:
         default=BASELINES_DIR,
         help="directory of checked-in baseline figure JSONs",
     )
+    parser.add_argument(
+        "--trajectory",
+        type=Path,
+        default=TRAJECTORY_PATH,
+        help="consolidated ablation trajectory file to (re)write",
+    )
     arguments = parser.parse_args(argv)
+
+    written = write_trajectory(arguments.results, arguments.trajectory)
+    print(
+        f"wrote {written} ablation record(s) to {arguments.trajectory}"
+    )
 
     baselines = sorted(arguments.baselines.glob("*.json"))
     if not baselines:

@@ -100,6 +100,7 @@ from .views import (
 # after .views: the cache rides on maintenance/compensation, which the
 # views package is mid-way through importing at the top of this module
 from .cache import CacheHit, SnapshotCache
+from .maintenance.grouping import BatchPolicy
 
 __version__ = "1.0.0"
 
@@ -112,6 +113,7 @@ __all__ = [
     "AttributeReplacement",
     "AttributeType",
     "BLIND_MERGE",
+    "BatchPolicy",
     "BrokenQueryError",
     "CacheHit",
     "Comparison",

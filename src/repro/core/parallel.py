@@ -17,11 +17,15 @@ Safety rules (each mirrors a serial-Dyno invariant):
   touching one of its ``(source, relation)`` keys (the semantic-edge
   condition, preserved across the dispatch boundary), and no quarantined
   source in its maintenance footprint;
-* **barrier rule** — SC-bearing units and merged batch units run solo:
-  they wait for every worker to drain and block dispatch while running.
-  Since every concurrent (CD) edge originates at a schema change, the
-  barrier plus the touched-key check covers all inter-unit edges whose
-  predecessor already left the queue;
+* **barrier rule** — SC-bearing units (including batch units holding a
+  schema change) run solo: they wait for every worker to drain and
+  block dispatch while running.  Since every concurrent (CD) edge
+  originates at a schema change, the barrier plus the touched-key check
+  covers all inter-unit edges whose predecessor already left the queue.
+  DU-only batch units — voluntary groups formed by a
+  :class:`~repro.maintenance.grouping.BatchPolicy`, deferred-mode
+  coalesces — carry only forward semantic edges and therefore stay
+  leapfrog-eligible like any data update;
 * **dispatch-order serialization** — the legal order actually realized
   is the dispatch order.  SWEEP compensation for a unit U therefore
   subtracts exactly the messages serialized *after* U: the queue
@@ -98,12 +102,14 @@ class ParallelScheduler(DynoScheduler):
         strategy: Strategy = PESSIMISTIC,
         workers: int = 2,
         max_iterations: int = 1_000_000,
+        batch_policy=None,
     ) -> None:
         super().__init__(
             manager,
             strategy,
             max_iterations=max_iterations,
             incremental_detection=True,
+            batch_policy=batch_policy,
         )
         self.pool = WorkerPool(workers)
         self.channels: dict[str, SourceChannel] = {}
@@ -198,6 +204,15 @@ class ParallelScheduler(DynoScheduler):
             self.channels[source_name] = channel
         return channel
 
+    @staticmethod
+    def _is_barrier(unit: MaintenanceUnit) -> bool:
+        """SC-bearing units run solo (every concurrent edge originates
+        at a schema change).  DU-only batches — voluntary groups,
+        deferred coalesces, SC-free merge-alls — carry only forward
+        semantic edges, which ``ready_units`` plus the touched-key gate
+        already enforce, so they stay leapfrog-eligible."""
+        return unit.has_schema_change
+
     def _touched_keys(self, unit: MaintenanceUnit) -> set[tuple[str, str]]:
         return {
             (message.source, relation)
@@ -225,8 +240,8 @@ class ParallelScheduler(DynoScheduler):
 
         Scans the ready antichain in queue order and never leapfrogs a
         barrier unit that is only waiting for workers to drain — once an
-        SC (or batch) becomes the earliest ready unit, dispatch pauses
-        behind it, bounding its starvation.
+        SC-bearing unit becomes the earliest ready unit, dispatch
+        pauses behind it, bounding its starvation.
         """
         units = self.umq.units
         if not units:
@@ -238,7 +253,7 @@ class ParallelScheduler(DynoScheduler):
             unit = units[index]
             if self._quarantine_blocked(unit):
                 continue
-            if unit.has_schema_change or unit.is_batch:
+            if self._is_barrier(unit):
                 if self.pool.any_busy:
                     return None  # barrier: drain first, no leapfrogging
                 return unit
@@ -261,6 +276,10 @@ class ParallelScheduler(DynoScheduler):
             self._charge(cost.detection_flag_check, "detection")
             if self.umq.test_and_clear_schema_change_flag():
                 self.detect_and_correct()
+        # Group safe runs across the whole queue (not just the head):
+        # several workers can each take a batch this round.  In-flight
+        # units already left the queue, so their overlays are untouched.
+        self._group_safe_runs()
         if self.pool.idle_worker() is None:
             return 0
         # The ready-set scan: drained substrate mutations plus one
@@ -327,7 +346,7 @@ class ParallelScheduler(DynoScheduler):
             unit, pending_feed=worker.pending_feed()
         )
         self._commit_order.append(worker)
-        if unit.has_schema_change or unit.is_batch:
+        if self._is_barrier(unit):
             self._barrier_in_flight = True
         metrics = self.engine.metrics
         metrics.dispatched_units += 1
@@ -560,7 +579,7 @@ class ParallelScheduler(DynoScheduler):
     # ------------------------------------------------------------------
 
     def _finish_barrier(self, unit: MaintenanceUnit) -> None:
-        if unit.has_schema_change or unit.is_batch:
+        if self._is_barrier(unit):
             self._barrier_in_flight = False
 
     def _complete(self, worker: WorkerState, outcome: object) -> None:
@@ -584,6 +603,7 @@ class ParallelScheduler(DynoScheduler):
             assert unit is not None
             self.manager.install_unit(worker.outcome, unit)
             worker.release()
+            self.engine.metrics.maintenance_rounds += 1
             self.stats.processed_messages.extend(
                 (message.source, message.seqno) for message in unit
             )

@@ -32,6 +32,11 @@ from ..sources.errors import (
     SourceUnavailableError,
     TransientSourceError,
 )
+from ..maintenance.grouping import (
+    BatchPolicy,
+    find_safe_runs,
+    merge_runs,
+)
 from ..sources.messages import UpdateMessage
 from ..views.manager import ViewManager
 from ..views.umq import MaintenanceUnit
@@ -108,6 +113,7 @@ class DynoScheduler:
         max_iterations: int = 1_000_000,
         defer_du_interval: float | None = None,
         incremental_detection: bool = True,
+        batch_policy: BatchPolicy | None = None,
     ) -> None:
         """``defer_du_interval`` enables *deferred* data-update
         maintenance (Colby et al. [5] in the paper's related work): pure
@@ -122,11 +128,18 @@ class DynoScheduler:
         what *changed* since the last round, not the queue size; pass
         ``False`` to rebuild from scratch every round (the paper's
         original cost profile, kept for ablation).
+
+        ``batch_policy`` arms adaptive group maintenance
+        (:mod:`repro.maintenance.grouping`): before picking the head,
+        maximal safe runs of the corrected UMQ are coalesced into
+        voluntary batch units, so a run of compatible updates pays one
+        maintenance round instead of one per message.
         """
         self.manager = manager
         self.strategy = strategy
         self.max_iterations = max_iterations
         self.defer_du_interval = defer_du_interval
+        self.batch_policy = batch_policy
         self.stats = SchedulerStats()
         self._last_broken_unit_ids: tuple[int, ...] | None = None
         self._next_deferred_refresh = (
@@ -255,6 +268,60 @@ class DynoScheduler:
             "detection",
         )
         self.manager.metrics.cycle_merges += result.merges
+
+    def _group_safe_runs(self) -> None:
+        """Adaptive group maintenance: merge safe runs of the queue.
+
+        Runs after pre-exec correction (the scan must see the corrected
+        order) and is skipped during outages — quarantine deferral
+        reorders the queue at unit granularity, and folding a blocked
+        unit into a batch would block the whole batch.  The merge
+        itself preserves legality (see :mod:`repro.maintenance
+        .grouping`): admitted units are SC-free by default, so no
+        concurrent edge can terminate inside a batch and Theorem 1's
+        broken-query detection is untouched.
+        """
+        policy = self.batch_policy
+        if policy is None or not policy.enabled or len(self.umq) < 2:
+            return
+        if self._quarantined:
+            return
+        units = list(self.umq.units)
+        if policy.du_only:
+            # CD edges need a schema-change endpoint and SC-bearing
+            # units are never admitted: no edge set to consult.
+            dependencies = ()
+        elif self.substrate is not None:
+            dependencies = self.substrate.dependencies()
+        else:
+            dependencies = find_dependencies(
+                self.umq.messages(),
+                self.manager.maintenance_queries,
+                rewritten_query=self._speculative_rewrite,
+            )
+        runs = find_safe_runs(units, policy, dependencies)
+        if not runs:
+            return
+        order, grouped = merge_runs(units, runs)
+        # A run that only extends an existing batch (the parallel
+        # executor regroups every dispatch round) is not a new batch.
+        fresh = sum(
+            1
+            for start, end in runs
+            if not any(unit.is_batch for unit in units[start:end])
+        )
+        # Install before charging, as everywhere: commits firing inside
+        # the charge window must append behind the grouped order.
+        self.umq.replace_order(order)
+        metrics = self.manager.metrics
+        metrics.batches_formed += fresh
+        metrics.grouped_messages += grouped
+        self._charge(self.manager.cost.batch_merge(grouped), "batch_merge")
+        self.engine.tracer.record(
+            self.engine.clock.now,
+            trace_kinds.BATCH,
+            f"{len(runs)} batch(es) over {grouped} messages",
+        )
 
     def _force_progress(self, broken_source: str) -> None:
         """Safety valve for repeat-breaking heads.
@@ -516,6 +583,9 @@ class DynoScheduler:
             self._wait_for_recovery()
             return True
 
+        # Adaptive group maintenance over the corrected queue.
+        self._group_safe_runs()
+
         unit = self.umq.head()
         started_at = self.engine.clock.now
         process = self.manager.build_maintenance(unit)
@@ -554,6 +624,7 @@ class DynoScheduler:
             return True
         # Success: line 12, remove the head.
         self._last_broken_unit_ids = None
+        metrics.maintenance_rounds += 1
         self.stats.processed_messages.extend(
             (message.source, message.seqno) for message in unit
         )

@@ -3,6 +3,7 @@
 from .ablations import (
     run_blind_merge_ablation,
     run_graph_scaling_ablation,
+    run_group_maintenance_ablation,
     run_incremental_detection_ablation,
     run_parallel_ablation,
     run_snapshot_cache_ablation,
@@ -14,12 +15,13 @@ from .fig11 import run_figure as run_fig11
 from .fig12 import run_figure as run_fig12
 from .runner import FigureResult, SeriesPoint
 from .starvation import run_starvation_study
-from .testbed import Testbed, build_testbed
+from .testbed import Testbed, build_multiview_testbed, build_testbed
 
 __all__ = [
     "FigureResult",
     "SeriesPoint",
     "Testbed",
+    "build_multiview_testbed",
     "build_testbed",
     "run_blind_merge_ablation",
     "run_fig08",
@@ -28,6 +30,7 @@ __all__ = [
     "run_fig11",
     "run_fig12",
     "run_graph_scaling_ablation",
+    "run_group_maintenance_ablation",
     "run_incremental_detection_ablation",
     "run_parallel_ablation",
     "run_snapshot_cache_ablation",

@@ -24,6 +24,7 @@ from . import (
     run_fig11,
     run_fig12,
     run_graph_scaling_ablation,
+    run_group_maintenance_ablation,
     run_incremental_detection_ablation,
     run_parallel_ablation,
     run_snapshot_cache_ablation,
@@ -42,6 +43,7 @@ def _runners(
     full: bool,
     seed: int | None = None,
     snapshot_cache: bool = False,
+    group_maintenance: bool = False,
 ) -> dict:
     tuples = _FULL_TUPLES if full else _QUICK_TUPLES
     # --seed overrides the workload seed of every runner that draws a
@@ -52,31 +54,40 @@ def _runners(
     # each chart can be produced in both arms; the ablations manage the
     # cache themselves (ABL-7 runs both arms internally).
     cached = {"snapshot_cache": snapshot_cache}
+    # --batch likewise arms adaptive group maintenance for every figure
+    # runner; ABL-8 runs both arms internally.
+    batched = {"group_maintenance": group_maintenance}
     return {
         "fig08": lambda: run_fig08(
             tuples_per_relation=tuples,
             **({} if full else {"du_counts": FIG8_QUICK}),
             **seeded,
             **cached,
+            **batched,
         ),
-        "fig09": lambda: run_fig09(tuples_per_relation=tuples, **cached),
+        "fig09": lambda: run_fig09(
+            tuples_per_relation=tuples, **cached, **batched
+        ),
         "fig10": lambda: run_fig10(
             tuples_per_relation=tuples,
             **({} if full else {"intervals": FIG10_QUICK, "du_count": 60}),
             **seeded,
             **cached,
+            **batched,
         ),
         "fig11": lambda: run_fig11(
             tuples_per_relation=tuples,
             **({} if full else {"sc_counts": FIG11_QUICK, "du_count": 60}),
             **seeded,
             **cached,
+            **batched,
         ),
         "fig12": lambda: run_fig12(
             tuples_per_relation=tuples,
             **({} if full else {"du_counts": FIG12_QUICK}),
             **seeded,
             **cached,
+            **batched,
         ),
         "abl-blind-merge": lambda: run_blind_merge_ablation(
             tuples_per_relation=tuples,
@@ -103,6 +114,14 @@ def _runners(
             **seeded,
         ),
         "abl-snapshot-cache": lambda: run_snapshot_cache_ablation(
+            **(
+                {"du_counts": (120, 240, 480), "tuples_per_relation": 400}
+                if full
+                else {}
+            ),
+            **seeded,
+        ),
+        "abl-group-maintenance": lambda: run_group_maintenance_ablation(
             **(
                 {"du_counts": (120, 240, 480), "tuples_per_relation": 400}
                 if full
@@ -148,10 +167,27 @@ def main(argv: list[str] | None = None) -> int:
         help="run without the snapshot cache (the default)",
     )
     parser.set_defaults(snapshot_cache=False)
+    batch_group = parser.add_mutually_exclusive_group()
+    batch_group.add_argument(
+        "--batch",
+        dest="group_maintenance",
+        action="store_true",
+        help="run every figure with adaptive group maintenance enabled",
+    )
+    batch_group.add_argument(
+        "--no-batch",
+        dest="group_maintenance",
+        action="store_false",
+        help="run without group maintenance (the default)",
+    )
+    parser.set_defaults(group_maintenance=False)
     arguments = parser.parse_args(argv)
 
     runners = _runners(
-        arguments.full, arguments.seed, arguments.snapshot_cache
+        arguments.full,
+        arguments.seed,
+        arguments.snapshot_cache,
+        arguments.group_maintenance,
     )
     requested = (
         list(runners) if "all" in arguments.figures else arguments.figures

@@ -26,6 +26,7 @@ cheap).  Pessimistic ≈ no-concurrency in both workloads.
 from __future__ import annotations
 
 from ..core.strategies import OPTIMISTIC, PESSIMISTIC, Strategy
+from ..maintenance.grouping import BatchPolicy
 from ..sources.workload import Workload
 from ..views.consistency import check_convergence
 from .runner import FigureResult
@@ -45,11 +46,13 @@ def _run_one(
     spacing: float,
     tuples_per_relation: int,
     snapshot_cache: bool = False,
+    group_maintenance: bool = False,
 ) -> tuple[float, float, bool]:
     testbed = build_testbed(
         strategy,
         tuples_per_relation=tuples_per_relation,
         snapshot_cache=snapshot_cache,
+        batch_policy=BatchPolicy() if group_maintenance else None,
     )
     workload = Workload()
     if workload_kind == "du_sc":
@@ -78,6 +81,7 @@ def run_figure(
     tuples_per_relation: int = 2000,
     conflict_spacing: float = 0.0,
     snapshot_cache: bool = False,
+    group_maintenance: bool = False,
 ) -> FigureResult:
     """``conflict_spacing`` = 0 commits both updates at the same instant
     (they flood the UMQ together, the paper's conflicting setup)."""
@@ -97,6 +101,7 @@ def run_figure(
             NO_CONCURRENCY_SPACING,
             tuples_per_relation,
             snapshot_cache,
+            group_maintenance,
         )
         pessimistic, _, ok1 = _run_one(
             kind,
@@ -104,6 +109,7 @@ def run_figure(
             conflict_spacing,
             tuples_per_relation,
             snapshot_cache,
+            group_maintenance,
         )
         optimistic, abort, ok2 = _run_one(
             kind,
@@ -111,6 +117,7 @@ def run_figure(
             conflict_spacing,
             tuples_per_relation,
             snapshot_cache,
+            group_maintenance,
         )
         if not (ok0 and ok1 and ok2):
             result.consistent = False

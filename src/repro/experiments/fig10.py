@@ -19,6 +19,7 @@ Expected shape:
 from __future__ import annotations
 
 from ..core.strategies import OPTIMISTIC, PESSIMISTIC
+from ..maintenance.grouping import BatchPolicy
 from ..views.consistency import check_convergence
 from .runner import FigureResult
 from .testbed import build_testbed
@@ -35,6 +36,7 @@ def run_figure(
     du_interval: float = 0.5,
     seed: int = 7,
     snapshot_cache: bool = False,
+    group_maintenance: bool = False,
 ) -> FigureResult:
     result = FigureResult(
         figure_id="FIG-10",
@@ -57,6 +59,7 @@ def run_figure(
                 strategy,
                 tuples_per_relation=tuples_per_relation,
                 snapshot_cache=snapshot_cache,
+                batch_policy=BatchPolicy() if group_maintenance else None,
             )
             testbed.engine.schedule_workload(
                 testbed.random_du_workload(

@@ -13,6 +13,7 @@ more conflicts between them.
 from __future__ import annotations
 
 from ..core.strategies import OPTIMISTIC, PESSIMISTIC
+from ..maintenance.grouping import BatchPolicy
 from ..views.consistency import check_convergence
 from .runner import FigureResult
 from .testbed import build_testbed
@@ -30,6 +31,7 @@ def run_figure(
     du_interval: float = 0.5,
     seed: int = 7,
     snapshot_cache: bool = False,
+    group_maintenance: bool = False,
 ) -> FigureResult:
     result = FigureResult(
         figure_id="FIG-11",
@@ -52,6 +54,7 @@ def run_figure(
                 strategy,
                 tuples_per_relation=tuples_per_relation,
                 snapshot_cache=snapshot_cache,
+                batch_policy=BatchPolicy() if group_maintenance else None,
             )
             testbed.engine.schedule_workload(
                 testbed.random_du_workload(

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from ..core.scheduler import DynoScheduler
 from ..core.strategies import Strategy
+from ..maintenance.grouping import BatchPolicy
 from ..relational.predicate import AttrRef
 from ..relational.query import JoinCondition, RelationRef, SPJQuery
 from ..relational.schema import RelationSchema
@@ -37,6 +38,7 @@ from ..sources.workload import (
 from ..sources.messages import DropAttribute, RenameRelation
 from ..views.definition import ViewDefinition
 from ..views.manager import ViewManager
+from ..views.multi import MultiViewManager
 
 RELATION_COUNT = 6
 SOURCE_COUNT = 3
@@ -158,34 +160,14 @@ class Testbed:
         self.scheduler.run()
 
 
-def build_testbed(
-    strategy: Strategy,
-    tuples_per_relation: int = 2000,
-    cost_model: CostModel | None = None,
-    seed: int = 3,
-    backend: str = "memory",
-    parallel_workers: int | None = None,
-    snapshot_cache: bool = False,
-) -> Testbed:
-    """Create sources, load data, define the 6-way join view.
-
-    ``backend`` selects the source implementation: ``"memory"`` (the
-    default in-process engine) or ``"sqlite"`` (stdlib ``sqlite3``
-    storage and SQL query answering) — the whole evaluation runs on
-    either.
-
-    ``parallel_workers`` switches the Dyno loop for the parallel
-    executor (:class:`~repro.core.parallel.ParallelScheduler`) with that
-    many workers; ``None`` keeps the serial scheduler.  ``1`` is the
-    serial *arm* of the parallel model — same dispatch overheads and
-    event machinery, no concurrency — which is the honest baseline for
-    makespan comparisons.
-
-    ``snapshot_cache`` arms the version-stamped snapshot cache
-    (:mod:`repro.cache`): maintenance probes repeated across units are
-    answered locally, patched forward through the committed deltas in
-    the version gap, instead of paying a source round trip.
-    """
+def _populated_engine(
+    tuples_per_relation: int,
+    cost_model: CostModel | None,
+    seed: int,
+    backend: str,
+    snapshot_cache: bool,
+) -> tuple[SimEngine, random.Random]:
+    """Engine with the three populated sources, no view yet."""
     cost = cost_model or CostModel.calibrated(tuples_per_relation)
     engine = SimEngine(cost)
     if snapshot_cache:
@@ -217,6 +199,63 @@ def build_testbed(
             for key in range(1, tuples_per_relation + 1)
         ]
         owner.create_relation(schema, rows)
+    return engine, rng
+
+
+def _make_scheduler(
+    manager,
+    strategy: Strategy,
+    parallel_workers: int | None,
+    batch_policy: BatchPolicy | None,
+) -> DynoScheduler:
+    if parallel_workers is not None:
+        from ..core.parallel import ParallelScheduler
+
+        return ParallelScheduler(
+            manager,
+            strategy,
+            workers=parallel_workers,
+            batch_policy=batch_policy,
+        )
+    return DynoScheduler(manager, strategy, batch_policy=batch_policy)
+
+
+def build_testbed(
+    strategy: Strategy,
+    tuples_per_relation: int = 2000,
+    cost_model: CostModel | None = None,
+    seed: int = 3,
+    backend: str = "memory",
+    parallel_workers: int | None = None,
+    snapshot_cache: bool = False,
+    batch_policy: BatchPolicy | None = None,
+) -> Testbed:
+    """Create sources, load data, define the 6-way join view.
+
+    ``backend`` selects the source implementation: ``"memory"`` (the
+    default in-process engine) or ``"sqlite"`` (stdlib ``sqlite3``
+    storage and SQL query answering) — the whole evaluation runs on
+    either.
+
+    ``parallel_workers`` switches the Dyno loop for the parallel
+    executor (:class:`~repro.core.parallel.ParallelScheduler`) with that
+    many workers; ``None`` keeps the serial scheduler.  ``1`` is the
+    serial *arm* of the parallel model — same dispatch overheads and
+    event machinery, no concurrency — which is the honest baseline for
+    makespan comparisons.
+
+    ``snapshot_cache`` arms the version-stamped snapshot cache
+    (:mod:`repro.cache`): maintenance probes repeated across units are
+    answered locally, patched forward through the committed deltas in
+    the version gap, instead of paying a source round trip.
+
+    ``batch_policy`` arms adaptive group maintenance
+    (:mod:`repro.maintenance.grouping`): safe runs of queued units are
+    merged into single batched maintenance rounds before dispatch.
+    """
+    engine, rng = _populated_engine(
+        tuples_per_relation, cost_model, seed, backend, snapshot_cache
+    )
 
     relations = tuple(
         RelationRef(
@@ -237,14 +276,65 @@ def build_testbed(
     )
     view = ViewDefinition("V", SPJQuery(relations, projection, joins))
     manager = ViewManager(engine, view)
-    if parallel_workers is not None:
-        from ..core.parallel import ParallelScheduler
+    scheduler = _make_scheduler(
+        manager, strategy, parallel_workers, batch_policy
+    )
+    return Testbed(engine, manager, scheduler, tuples_per_relation, rng)
 
-        scheduler: DynoScheduler = ParallelScheduler(
-            manager, strategy, workers=parallel_workers
+
+def subview_query(first: int, last: int) -> SPJQuery:
+    """An equi-join of testbed relations ``R{first+1}..R{last}``,
+    projecting each relation's ``A`` attribute."""
+    relations = tuple(
+        RelationRef(
+            source_of_relation(index), relation_name(index), f"T{index + 1}"
         )
-    else:
-        scheduler = DynoScheduler(manager, strategy)
+        for index in range(first, last)
+    )
+    projection = tuple(
+        AttrRef(f"T{index + 1}", f"A{index + 1}")
+        for index in range(first, last)
+    )
+    joins = tuple(
+        JoinCondition(
+            AttrRef(f"T{index + 1}", "K"), AttrRef(f"T{index + 2}", "K")
+        )
+        for index in range(first, last - 1)
+    )
+    return SPJQuery(relations, projection, joins)
+
+
+def build_multiview_testbed(
+    strategy: Strategy,
+    tuples_per_relation: int = 200,
+    cost_model: CostModel | None = None,
+    seed: int = 3,
+    backend: str = "memory",
+    parallel_workers: int | None = None,
+    snapshot_cache: bool = False,
+    batch_policy: BatchPolicy | None = None,
+    spans: tuple[tuple[int, int], ...] = ((0, 3), (2, RELATION_COUNT)),
+) -> Testbed:
+    """Like :func:`build_testbed` but with several overlapping subviews
+    maintained by one :class:`~repro.views.multi.MultiViewManager`.
+
+    Each ``(first, last)`` span becomes a subview joining
+    ``R{first+1}..R{last}``; the defaults give the two-view split used
+    by the multi-view convergence tests (relations R3 shared).  This is
+    the testbed for the ABL-8 group-maintenance ablation: several views
+    touched per update amplify the per-round savings of batching.
+    """
+    engine, rng = _populated_engine(
+        tuples_per_relation, cost_model, seed, backend, snapshot_cache
+    )
+    views = [
+        ViewDefinition(f"V{index + 1}", subview_query(first, last))
+        for index, (first, last) in enumerate(spans)
+    ]
+    manager = MultiViewManager(engine, views)
+    scheduler = _make_scheduler(
+        manager, strategy, parallel_workers, batch_policy
+    )
     return Testbed(engine, manager, scheduler, tuples_per_relation, rng)
 
 

@@ -12,6 +12,12 @@ from .compensation import (
     effect_on_answer,
     pending_data_updates,
 )
+from .grouping import (
+    BatchPolicy,
+    coalesce_data_updates,
+    find_safe_runs,
+    merge_runs,
+)
 from .decompose import (
     bfs_alias_order,
     needed_columns,
@@ -30,6 +36,7 @@ from .vs import (
 )
 
 __all__ = [
+    "BatchPolicy",
     "CompensationLog",
     "RewriteReport",
     "SynchronizationResult",
@@ -37,10 +44,13 @@ __all__ = [
     "ViewSynchronizer",
     "adapt_view",
     "bfs_alias_order",
+    "coalesce_data_updates",
     "combine_schema_changes",
     "compensate_answer",
     "data_updates_of",
     "effect_on_answer",
+    "find_safe_runs",
+    "merge_runs",
     "homogenize_data_updates",
     "maintain_data_update",
     "needed_columns",

@@ -1,0 +1,236 @@
+"""Adaptive group maintenance: merging safe UMQ runs into batches.
+
+Section 5's batch preprocessing (combine the schema changes, homogenize
+the data updates) is mandatory only when correction forces a dependency
+cycle into one batch node.  Everything else in the UMQ pays a full
+maintenance round — probe sweep plus compensation — per message, so
+DU-heavy streams scale linearly in source round trips.  This module
+adds the *voluntary* counterpart: a :class:`BatchPolicy` scans the
+(corrected) queue for maximal **safe runs** and coalesces each into one
+batch unit maintained in a single round.
+
+A *safe run* is a maximal sequence of **consecutive** queue units such
+that merging them preserves a legal order (Definition 7 / Theorem 2):
+
+* every member is admitted by the policy — by default only SC-free
+  units (``du_only``), so Theorem 1's broken-query detection keeps its
+  meaning: a schema change is never silently folded into a voluntary
+  batch, and a query broken by a concurrent SC still aborts and
+  reorders exactly as before;
+* no concurrent dependency (CD, Definition 6) connects a member to any
+  other member.  CD edges originate at schema changes, so under
+  ``du_only`` this holds vacuously; in mixed mode the check consults
+  the live edge set (O(deg) per candidate, no graph rebuild);
+* the merged unit respects ``max_batch_size`` (messages) and
+  ``batch_window`` (committed-at span).
+
+Why merging a safe run is legal: the batch occupies the run's position,
+so every edge *crossing* the run keeps its relative order unchanged.
+Edges *inside* the run are semantic dependencies (SD) between
+consecutive touches of one ``(source, relation)``; they always point
+forward in queue order, and the batch maintains its messages in exactly
+that order — an SD inside a batch is satisfied by construction
+(Section 4.2's argument for cycle batches, applied voluntarily).
+
+The payoff is realized by :func:`coalesce_data_updates`: inside one
+unit, same-relation deltas merge into a single delta, so the batch
+issues **one probe sweep per touched relation** (one probe set per
+source) instead of one per message.  The merge is exact — SPJ joins are
+bilinear in their relations, so summing same-relation deltas before
+probing reassociates the telescoping sum of per-message view deltas
+without changing its value; insert/delete pairs that cancel inside the
+batch simply drop out of the probe traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.dependencies import Dependency, DependencyKind
+from ..relational.delta import Delta
+from ..sources.messages import DataUpdate, UpdateMessage
+from ..views.umq import MaintenanceUnit
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs for voluntary group maintenance.
+
+    ``max_batch_size`` caps the *messages* per voluntary batch (latency
+    bound: one huge batch would delay every member's visibility until
+    the last probe answers).  ``batch_window`` caps the committed-at
+    span a batch may cover (staleness bound; ``None`` = unlimited).
+    ``du_only`` admits only SC-free units — the safe default; mixed
+    mode additionally admits SC-bearing units with no concurrent edge
+    into the run, trading detection transparency for fewer VS rounds.
+    """
+
+    enabled: bool = True
+    max_batch_size: int = 16
+    batch_window: float | None = None
+    du_only: bool = True
+
+    def admits(self, unit: MaintenanceUnit) -> bool:
+        """May ``unit`` join a voluntary batch at all?"""
+        if not self.enabled:
+            return False
+        return not (self.du_only and unit.has_schema_change)
+
+
+def _span(unit: MaintenanceUnit) -> tuple[float, float]:
+    stamps = [message.committed_at for message in unit]
+    return min(stamps), max(stamps)
+
+
+def find_safe_runs(
+    units: Sequence[MaintenanceUnit],
+    policy: BatchPolicy,
+    dependencies: Iterable[Dependency] = (),
+) -> list[tuple[int, int]]:
+    """Maximal safe runs as ``[start, end)`` unit-index ranges.
+
+    Only runs of two or more units are returned (a single unit is
+    already its own maintenance round).  ``dependencies`` are
+    message-level edges in *current queue positions* (the incremental
+    substrate's :meth:`dependencies`); only concurrent edges matter —
+    semantic edges between consecutive units point forward and are
+    preserved by in-batch commit order.  Under ``du_only`` the edge set
+    may be empty: CD edges need a schema-change endpoint and SC-bearing
+    units are never admitted.
+    """
+    if not policy.enabled or len(units) < 2:
+        return []
+    unit_of: list[int] = []
+    for index, unit in enumerate(units):
+        unit_of.extend([index] * len(unit))
+    # Unordered CD partnership per unit: merging two partners would
+    # hide the very conflict Theorem 1 detects.
+    partners: dict[int, set[int]] = {}
+    for dependency in dependencies:
+        if dependency.kind is not DependencyKind.CONCURRENT:
+            continue
+        before = unit_of[dependency.before_index]
+        after = unit_of[dependency.after_index]
+        if before == after:
+            continue
+        partners.setdefault(before, set()).add(after)
+        partners.setdefault(after, set()).add(before)
+
+    runs: list[tuple[int, int]] = []
+    index = 0
+    while index < len(units):
+        if not policy.admits(units[index]):
+            index += 1
+            continue
+        start = index
+        members = {index}
+        size = len(units[index])
+        low, high = _span(units[index])
+        index += 1
+        while index < len(units) and size < policy.max_batch_size:
+            candidate = units[index]
+            if not policy.admits(candidate):
+                break
+            if size + len(candidate) > policy.max_batch_size:
+                break
+            c_low, c_high = _span(candidate)
+            if policy.batch_window is not None and (
+                max(high, c_high) - min(low, c_low) > policy.batch_window
+            ):
+                break
+            if partners.get(index, set()) & members:
+                break
+            members.add(index)
+            size += len(candidate)
+            low, high = min(low, c_low), max(high, c_high)
+            index += 1
+        if len(members) >= 2:
+            runs.append((start, start + len(members)))
+    return runs
+
+
+def merge_runs(
+    units: Sequence[MaintenanceUnit], runs: Sequence[tuple[int, int]]
+) -> tuple[list[MaintenanceUnit], int]:
+    """The new unit order with every run merged in place.
+
+    Returns ``(order, grouped)`` where *grouped* counts the messages
+    *newly* entering a voluntary batch — members of an existing batch
+    unit being extended (the parallel executor regroups every dispatch
+    round as messages trickle in) are not recounted.  Runs must be
+    disjoint and sorted (as :func:`find_safe_runs` yields them).
+    """
+    order: list[MaintenanceUnit] = []
+    grouped = 0
+    cursor = 0
+    for start, end in runs:
+        order.extend(units[cursor:start])
+        batch = MaintenanceUnit.merged(units[start:end])
+        grouped += sum(
+            len(unit) for unit in units[start:end] if not unit.is_batch
+        )
+        order.append(batch)
+        cursor = end
+    order.extend(units[cursor:])
+    return order, grouped
+
+
+def coalesce_data_updates(
+    messages: Sequence[UpdateMessage],
+) -> list[UpdateMessage]:
+    """Merge same-``(source, relation)`` data updates into one message.
+
+    Input messages must be translated data updates (all deltas already
+    expressed against current names).  Groups keep first-occurrence
+    order; within a group, signed counts sum into one delta — exact by
+    bilinearity of the SPJ join, since the in-unit pending overlay
+    compensates every cross term exactly once regardless of how the
+    per-relation sum is associated.  Synthetic messages carry the
+    group's newest ``committed_at`` (all members are committed before
+    the batch's maintenance starts, so every probe answer still
+    post-dates them) and the last member's seqno; they exist only
+    inside the maintenance computation and never enter the UMQ or the
+    processed-message log.
+
+    Falls back to the untouched sequence when any group mixes delta
+    schemas (updates straddling an untranslated schema gap) — applying
+    them one by one is always correct, merging is the optimization.
+    """
+    if len(messages) < 2:
+        return list(messages)
+    groups: dict[tuple[str, str], list[UpdateMessage]] = {}
+    for message in messages:
+        payload = message.payload
+        assert isinstance(payload, DataUpdate)
+        groups.setdefault(
+            (message.source, payload.relation), []
+        ).append(message)
+    if len(groups) == len(messages):
+        return list(messages)
+    coalesced: list[UpdateMessage] = []
+    for (source, relation), group in groups.items():
+        if len(group) == 1:
+            coalesced.append(group[0])
+            continue
+        schema = group[0].payload.delta.schema
+        if any(
+            message.payload.delta.schema != schema
+            for message in group[1:]
+        ):
+            return list(messages)
+        merged = Delta(schema)
+        for message in group:
+            for row, count in message.payload.delta.items():
+                merged.add(row, count)
+        if merged.is_empty():
+            continue  # the group cancelled out: no probes needed
+        coalesced.append(
+            UpdateMessage(
+                source,
+                group[-1].seqno,
+                max(message.committed_at for message in group),
+                DataUpdate(relation, merged),
+            )
+        )
+    return coalesced

@@ -69,6 +69,10 @@ class CostModel:
     #: handing one maintenance unit to a parallel worker (ready-set
     #: lookup, context handoff) — charged to the dispatching round
     dispatch_overhead: float = 0.002
+    #: folding one message into a voluntary batch (safe-run scan share,
+    #: queue surgery, delta merge) — charged when a BatchPolicy groups
+    #: a run of the UMQ
+    batch_merge_per_message: float = 0.0002
     #: maintenance-query trips one source accepts concurrently; extra
     #: trips queue at the source, so parallel speedup saturates
     #: realistically instead of scaling without bound
@@ -122,6 +126,10 @@ class CostModel:
 
     def correction(self, nodes: int, edges: int) -> float:
         return (nodes + edges) * self.correction_per_element
+
+    def batch_merge(self, messages: int) -> float:
+        """Forming one voluntary batch over ``messages`` messages."""
+        return messages * self.batch_merge_per_message
 
     @classmethod
     def paper_default(cls) -> "CostModel":
@@ -180,4 +188,5 @@ class CostModel:
             detection_incremental_per_edge=0.0,
             correction_per_element=0.0,
             dispatch_overhead=0.0,
+            batch_merge_per_message=0.0,
         )

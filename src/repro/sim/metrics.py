@@ -27,6 +27,14 @@ class Metrics:
     broken_queries: int = 0
     #: number of updates whose maintenance committed to the view
     maintained_updates: int = 0
+    #: maintenance units whose computation committed — the number of
+    #: maintenance *rounds* paid; with group maintenance one round can
+    #: cover many updates, so rounds << maintained_updates
+    maintenance_rounds: int = 0
+    #: messages coalesced into voluntary batches by the BatchPolicy
+    grouped_messages: int = 0
+    #: voluntary batches formed from safe UMQ runs
+    batches_formed: int = 0
     #: number of view refresh transactions
     view_refreshes: int = 0
     #: number of pre-exec detection/correction rounds executed
@@ -125,6 +133,9 @@ class Metrics:
             "aborts": self.aborts,
             "broken_queries": self.broken_queries,
             "maintained_updates": self.maintained_updates,
+            "maintenance_rounds": self.maintenance_rounds,
+            "grouped_messages": self.grouped_messages,
+            "batches_formed": self.batches_formed,
             "view_refreshes": self.view_refreshes,
             "detection_rounds": self.detection_rounds,
             "graph_builds": self.graph_builds,

@@ -39,6 +39,7 @@ FAULT = "fault"
 RETRY = "retry"
 QUARANTINE = "quarantine"
 RESUME = "resume"
+BATCH = "batch"
 
 
 @dataclass

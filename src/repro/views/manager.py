@@ -40,6 +40,7 @@ from ..maintenance.batch import (
     schema_changes_of,
 )
 from ..maintenance.compensation import CompensationLog
+from ..maintenance.grouping import coalesce_data_updates
 from ..maintenance.history import SchemaHistory
 from ..maintenance.va import adapt_view
 from ..maintenance.vm import maintain_data_update
@@ -335,6 +336,10 @@ class ViewManager:
             for translated in [self._translated(m)]
             if translated is not None
         ]
+        # Batch preprocessing (Section 5, voluntary flavour): merge
+        # same-relation deltas so the batch pays one probe sweep per
+        # touched relation.  Exact — see grouping.coalesce_data_updates.
+        messages = coalesce_data_updates(messages)
         total: Delta | None = None
         for index, message in enumerate(messages):
             sub_unit = MaintenanceUnit([message])

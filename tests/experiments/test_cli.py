@@ -30,7 +30,9 @@ class TestExecution:
             def table(self):
                 return "FAKE TABLE"
 
-        def fake_runners(full, seed=None, snapshot_cache=False):
+        def fake_runners(
+            full, seed=None, snapshot_cache=False, group_maintenance=False
+        ):
             return {"fig09": lambda: calls.append(full) or FakeResult()}
 
         monkeypatch.setattr(cli, "_runners", fake_runners)
@@ -50,7 +52,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False: {
+            lambda full, seed=None, snapshot_cache=False, group_maintenance=False: {
                 "fig09": lambda: seen.append(full) or FakeResult()
             },
         )
@@ -69,7 +71,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False: {
+            lambda full, seed=None, snapshot_cache=False, group_maintenance=False: {
                 "fig09": lambda: seen.append(seed) or FakeResult()
             },
         )
@@ -89,7 +91,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False: {
+            lambda full, seed=None, snapshot_cache=False, group_maintenance=False: {
                 "fig09": lambda: seen.append(snapshot_cache) or FakeResult()
             },
         )
@@ -101,6 +103,54 @@ class TestExecution:
     def test_cache_flags_mutually_exclusive(self):
         with pytest.raises(SystemExit):
             cli.main(["fig09", "--cache", "--no-cache"])
+
+    def test_batch_flag_threaded_through(self, monkeypatch):
+        seen = []
+
+        class FakeResult:
+            consistent = True
+
+            def table(self):
+                return ""
+
+        monkeypatch.setattr(
+            cli,
+            "_runners",
+            lambda full, seed=None, snapshot_cache=False, group_maintenance=False: {
+                "fig09": lambda: seen.append(group_maintenance)
+                or FakeResult()
+            },
+        )
+        cli.main(["fig09", "--batch"])
+        cli.main(["fig09", "--no-batch"])
+        cli.main(["fig09"])
+        assert seen == [True, False, False]
+
+    def test_batch_flags_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig09", "--batch", "--no-batch"])
+
+    def test_batch_and_cache_flags_compose(self, monkeypatch):
+        seen = []
+
+        class FakeResult:
+            consistent = True
+
+            def table(self):
+                return ""
+
+        monkeypatch.setattr(
+            cli,
+            "_runners",
+            lambda full, seed=None, snapshot_cache=False, group_maintenance=False: {
+                "fig09": lambda: seen.append(
+                    (snapshot_cache, group_maintenance)
+                )
+                or FakeResult()
+            },
+        )
+        cli.main(["fig09", "--cache", "--batch"])
+        assert seen == [(True, True)]
 
     def test_all_runs_everything(self, monkeypatch):
         ran = []
@@ -114,7 +164,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False: {
+            lambda full, seed=None, snapshot_cache=False, group_maintenance=False: {
                 name: (lambda n=name: ran.append(n) or FakeResult())
                 for name in ("fig09", "fig10")
             },
@@ -130,6 +180,6 @@ class TestExecution:
                 return ""
 
         monkeypatch.setattr(
-            cli, "_runners", lambda full, seed=None, snapshot_cache=False: {"fig09": BadResult}
+            cli, "_runners", lambda full, seed=None, snapshot_cache=False, group_maintenance=False: {"fig09": BadResult}
         )
         assert cli.main(["fig09"]) == 1

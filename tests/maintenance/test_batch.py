@@ -194,6 +194,60 @@ class TestHomogenize:
         )
         assert merged[("s", "R")].is_empty()
 
+    def test_delete_then_reinsert_across_rename_and_drop_gap(self):
+        """A row deleted under the old wide schema and reinserted under
+        the renamed, narrowed one: both sides homogenize to the same
+        final-schema tuple and cancel to a net no-op (the view already
+        holds the surviving projection of the row)."""
+        wide = RelationSchema.of("R", ["k", "b"])
+        narrow = RelationSchema.of("R2", ["k"])
+        delete_old = UpdateMessage(
+            "s", 1, 0.0, DataUpdate.delete(wide, [("1", "x")])
+        )
+        reinsert_new = UpdateMessage(
+            "s", 3, 2.0, DataUpdate.insert(narrow, [("1",)])
+        )
+        merged = homogenize_data_updates(
+            [delete_old, reinsert_new],
+            final_schemas={("s", "R2"): narrow},
+            name_map={("s", "R"): "R2"},
+        )
+        assert merged[("s", "R2")].is_empty()
+        # A sibling key deleted but *not* reinserted must survive as a
+        # net deletion in the homogenized delta.
+        delete_other = UpdateMessage(
+            "s", 2, 1.0, DataUpdate.delete(wide, [("9", "y")])
+        )
+        merged = homogenize_data_updates(
+            [delete_old, delete_other, reinsert_new],
+            final_schemas={("s", "R2"): narrow},
+            name_map={("s", "R"): "R2"},
+        )
+        assert merged[("s", "R2")].count(("9",)) == -1
+        assert merged[("s", "R2")].count(("1",)) == 0
+
+    def test_empty_du_subgroup_beside_nonempty_sc_subgroup(self):
+        """A batch whose messages are all schema changes: the DU
+        subgroup is empty, and homogenization must return no deltas at
+        all — not empty per-relation entries — while the SC subgroup
+        still partitions out intact."""
+        sc1 = UpdateMessage("s", 1, 0.0, DropAttribute("R", "b"))
+        sc2 = UpdateMessage("s", 2, 1.0, RenameRelation("R", "R2"))
+        unit = MaintenanceUnit([sc1, sc2])
+        assert data_updates_of(unit) == []
+        assert schema_changes_of(unit) == [
+            ("s", DropAttribute("R", "b")),
+            ("s", RenameRelation("R", "R2")),
+        ]
+        merged = homogenize_data_updates(
+            data_updates_of(unit),
+            final_schemas={
+                ("s", "R2"): RelationSchema.of("R2", ["a", "c"])
+            },
+            name_map={("s", "R"): "R2"},
+        )
+        assert merged == {}
+
 
 class TestCombineEmissionHazards:
     """Regression pins for applicability hazards found by hypothesis."""
