@@ -19,6 +19,10 @@ Rules, per figure present in *both* directories:
 Figures without a baseline are reported but never fail the check (new
 benchmarks land before their baseline does); a baseline without a
 result means CI stopped producing a guarded figure, which *does* fail.
+A missing or empty baseline directory, or an unreadable baseline/result
+file, exits nonzero with a clear error instead of silently passing —
+an accidentally deleted baseline must not disable the guard.  The
+summary lists exactly which ablations were compared.
 
 As a side effect the checker consolidates every ``abl-*.json`` result
 into ``BENCH_ablations.json`` at the repository root — one record per
@@ -41,8 +45,23 @@ BASELINES_DIR = BENCH_DIR / "baselines"
 TRAJECTORY_PATH = BENCH_DIR.parent / "BENCH_ablations.json"
 
 
+class BaselineError(Exception):
+    """A baseline (or its fresh result) cannot be read — fail the
+    check rather than silently skipping the guard."""
+
+
 def _load(path: Path) -> dict:
-    return json.loads(path.read_text())
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise BaselineError(f"{path}: unreadable ({exc})") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: invalid JSON ({exc})") from exc
+    if not isinstance(data, dict):
+        raise BaselineError(
+            f"{path}: expected a figure object, got {type(data).__name__}"
+        )
+    return data
 
 
 def _speedup_series(figure: dict) -> list[str]:
@@ -173,17 +192,33 @@ def main(argv: list[str] | None = None) -> int:
     )
     arguments = parser.parse_args(argv)
 
-    written = write_trajectory(arguments.results, arguments.trajectory)
+    try:
+        written = write_trajectory(arguments.results, arguments.trajectory)
+    except BaselineError as error:
+        print(f"ERROR: {error}", file=sys.stderr)
+        return 2
     print(
         f"wrote {written} ablation record(s) to {arguments.trajectory}"
     )
 
+    if not arguments.baselines.is_dir():
+        print(
+            f"ERROR: baseline directory {arguments.baselines} does not "
+            "exist — the regression guard cannot run",
+            file=sys.stderr,
+        )
+        return 2
     baselines = sorted(arguments.baselines.glob("*.json"))
     if not baselines:
-        print(f"no baselines under {arguments.baselines}; nothing to check")
-        return 0
+        print(
+            f"ERROR: no baselines under {arguments.baselines}; refusing "
+            "to pass an empty guard (commit benchmarks/baselines/*.json "
+            "or point --baselines at them)",
+            file=sys.stderr,
+        )
+        return 2
     failures: list[str] = []
-    checked = 0
+    compared: list[str] = []
     for baseline_path in baselines:
         result_path = arguments.results / baseline_path.name
         if not result_path.exists():
@@ -192,25 +227,32 @@ def main(argv: list[str] | None = None) -> int:
                 f"no {result_path.name}"
             )
             continue
+        try:
+            baseline = _load(baseline_path)
+            current = _load(result_path)
+        except BaselineError as error:
+            failures.append(str(error))
+            continue
         figure_failures = check_figure(
-            baseline_path.stem,
-            _load(baseline_path),
-            _load(result_path),
-            arguments.tolerance,
+            baseline_path.stem, baseline, current, arguments.tolerance
         )
         failures.extend(figure_failures)
-        checked += 1
+        compared.append(baseline_path.stem)
         status = "FAIL" if figure_failures else "ok"
         print(f"{baseline_path.stem}: {status}")
     for result_path in sorted(arguments.results.glob("*.json")):
         if not (arguments.baselines / result_path.name).exists():
             print(f"{result_path.stem}: no baseline (unguarded)")
+    print(
+        f"compared {len(compared)} ablation(s): "
+        + (", ".join(compared) if compared else "none")
+    )
     if failures:
         print()
         for failure in failures:
             print(f"REGRESSION: {failure}")
         return 1
-    print(f"{checked} figure(s) within tolerance")
+    print(f"{len(compared)} figure(s) within tolerance")
     return 0
 
 

@@ -101,6 +101,21 @@ from .views import (
 # views package is mid-way through importing at the top of this module
 from .cache import CacheHit, SnapshotCache
 from .maintenance.grouping import BatchPolicy
+from .recovery import (
+    CRASH_POINTS,
+    CrashInjector,
+    CrashPlan,
+    FileCheckpointStore,
+    FileJournalSink,
+    MaintenanceJournal,
+    MemoryCheckpointStore,
+    MemoryJournalSink,
+    RecoveryHarness,
+    RecoveryReport,
+    SchedulerCrash,
+    recover,
+    simulate_crash,
+)
 
 __version__ = "1.0.0"
 
@@ -115,10 +130,13 @@ __all__ = [
     "BLIND_MERGE",
     "BatchPolicy",
     "BrokenQueryError",
+    "CRASH_POINTS",
     "CacheHit",
     "Comparison",
     "ConsistencyReport",
     "CostModel",
+    "CrashInjector",
+    "CrashPlan",
     "CrashWindow",
     "CreateRelation",
     "DataSource",
@@ -136,17 +154,24 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultStats",
+    "FileCheckpointStore",
+    "FileJournalSink",
     "InPredicate",
     "JoinCondition",
     "LinkFault",
+    "MaintenanceJournal",
     "MaintenanceUnit",
     "MaterializedView",
+    "MemoryCheckpointStore",
+    "MemoryJournalSink",
     "MetaKnowledgeBase",
     "MultiViewManager",
     "NAIVE",
     "OPTIMISTIC",
     "PESSIMISTIC",
     "QueryTimeoutError",
+    "RecoveryHarness",
+    "RecoveryReport",
     "RelationRef",
     "RelationReplacement",
     "RelationSchema",
@@ -155,6 +180,7 @@ __all__ = [
     "RestructureRelations",
     "RetryPolicy",
     "SPJQuery",
+    "SchedulerCrash",
     "SimEngine",
     "SnapshotCache",
     "SourceUnavailableError",
@@ -178,4 +204,6 @@ __all__ = [
     "execute",
     "parse_query",
     "parse_view",
+    "recover",
+    "simulate_crash",
 ]

@@ -222,3 +222,36 @@ class SnapshotCache:
 
     def clear(self) -> None:
         self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # checkpoint / recovery plumbing
+    # ------------------------------------------------------------------
+
+    def export_entries(self) -> list[tuple[str, str, int, Table]]:
+        """Snapshot the resident entries for a warehouse checkpoint.
+
+        Returns ``(source name, query key, version stamp, answer)``
+        rows in recency order; tables are copied so the checkpoint
+        cannot alias live state.  JSON encoding is the checkpoint
+        layer's business, not the cache's.
+        """
+        return [
+            (source, key, entry.version, entry.table.copy())
+            for (source, key), entry in self._entries.items()
+        ]
+
+    def restore_entries(
+        self, entries: list[tuple[str, str, int, Table]]
+    ) -> int:
+        """Re-seed the cache from checkpointed entries (post-recovery).
+
+        The caller filters by watermark — entries stamped newer than the
+        committed-update watermark must not be passed in.  Returns how
+        many entries were installed.
+        """
+        for source, key, version, table in entries:
+            self._entries.pop((source, key), None)
+            self._entries[(source, key)] = _Entry(version, table.copy())
+            while len(self._entries) > self.max_entries:
+                self._entries.pop(next(iter(self._entries)))
+        return len(entries)

@@ -70,7 +70,7 @@ split back per unit on answer (:class:`~repro.sim.workers.SourceChannel`).
 from __future__ import annotations
 
 from ..sim import trace as trace_kinds
-from ..sim.engine import QueryAnswer, RetryState
+from ..sim.engine import WAREHOUSE_OWNER, QueryAnswer, RetryState
 from ..sim.effects import Checkpoint, Delay, SourceQuery
 from ..sim.workers import QueryJob, SourceChannel, Trip, WorkerPool, WorkerState
 from ..sources.errors import (
@@ -325,6 +325,7 @@ class ParallelScheduler(DynoScheduler):
     def _dispatch(self, worker: WorkerState, unit: MaintenanceUnit) -> None:
         now = self.engine.clock.now
         self.stats.iterations += 1
+        self.engine.crash_point("parallel.pre_dispatch")
         self.dispatch_audit.append(
             {
                 "at": now,
@@ -354,6 +355,7 @@ class ParallelScheduler(DynoScheduler):
         if self.pool.peak_parallelism > metrics.peak_parallelism:
             metrics.peak_parallelism = self.pool.peak_parallelism
         self._resume_later(start_at, worker)
+        self.engine.crash_point("parallel.post_dispatch")
 
     # ------------------------------------------------------------------
     # driving one worker's maintenance generator
@@ -368,6 +370,7 @@ class ParallelScheduler(DynoScheduler):
         self.engine.schedule(
             at,
             lambda: self._resume_if_current(worker, generation, payload),
+            owner=WAREHOUSE_OWNER,
         )
 
     def _resume_if_current(
@@ -517,7 +520,9 @@ class ParallelScheduler(DynoScheduler):
             metrics.batched_queries += len(trip.jobs)
         trip.answer_at = now + combined
         self.engine.schedule(
-            trip.answer_at, lambda: self._trip_answered(channel, trip)
+            trip.answer_at,
+            lambda: self._trip_answered(channel, trip),
+            owner=WAREHOUSE_OWNER,
         )
 
     def _trip_answered(self, channel: SourceChannel, trip: Trip) -> None:
@@ -552,6 +557,7 @@ class ParallelScheduler(DynoScheduler):
                 self.engine.schedule(
                     now + elapsed + pause,
                     lambda j=job: self._resubmit(j),
+                    owner=WAREHOUSE_OWNER,
                 )
                 continue
             except BrokenQueryError as broken:
@@ -598,15 +604,18 @@ class ParallelScheduler(DynoScheduler):
 
     def _drain_commit_queue(self) -> None:
         while self._commit_order and self._commit_order[0].outcome_ready:
-            worker = self._commit_order.pop(0)
+            worker = self._commit_order[0]
             unit = worker.unit
             assert unit is not None
+            self.engine.crash_point("parallel.pre_install")
+            self._commit_order.pop(0)
             self.manager.install_unit(worker.outcome, unit)
             worker.release()
             self.engine.metrics.maintenance_rounds += 1
             self.stats.processed_messages.extend(
                 (message.source, message.seqno) for message in unit
             )
+            self.engine.crash_point("parallel.post_install")
             self._finish_barrier(unit)
             if unit.has_schema_change:
                 # The rewrite committed: every cached footprint and
@@ -616,6 +625,7 @@ class ParallelScheduler(DynoScheduler):
                 # ran).
                 self.substrate.rebuild()
             self._last_broken_unit_ids = None
+            self._maybe_checkpoint()
 
     def _abort(self, worker: WorkerState, broken: BrokenQueryError) -> None:
         now = self.engine.clock.now
@@ -718,6 +728,9 @@ class ParallelScheduler(DynoScheduler):
                 continue
             if policy is BrokenQueryPolicy.SKIP:
                 self.umq.remove_unit(unit)
+                journal = getattr(self.manager, "journal", None)
+                if journal is not None:
+                    journal.record_skip(unit)
                 self.stats.skipped_updates += 1
                 continue
             if policy is BrokenQueryPolicy.MERGE_ALL:

@@ -140,6 +140,9 @@ class DynoScheduler:
         self.max_iterations = max_iterations
         self.defer_du_interval = defer_du_interval
         self.batch_policy = batch_policy
+        #: crash-recovery harness (armed by ``RecoveryHarness.attach``);
+        #: drives periodic checkpoints from the commit point
+        self.recovery = None
         self.stats = SchedulerStats()
         self._last_broken_unit_ids: tuple[int, ...] | None = None
         self._next_deferred_refresh = (
@@ -189,6 +192,10 @@ class DynoScheduler:
     def _charge(self, duration: float, kind: str) -> None:
         if duration > 0:
             self.engine.perform(Delay(duration, kind))
+
+    def _maybe_checkpoint(self) -> None:
+        if self.recovery is not None:
+            self.recovery.maybe_checkpoint()
 
     # ------------------------------------------------------------------
     # detection + correction round
@@ -568,6 +575,7 @@ class DynoScheduler:
         if self.defer_du_interval is not None and self._defer_step():
             return True
         self.stats.iterations += 1
+        self.engine.crash_point("serial.pre_detect")
 
         # Line 1: pessimistic pre-exec detection behind the flag.
         if self.strategy.pre_exec:
@@ -586,6 +594,7 @@ class DynoScheduler:
         # Adaptive group maintenance over the corrected queue.
         self._group_safe_runs()
 
+        self.engine.crash_point("serial.pre_maintain")
         unit = self.umq.head()
         started_at = self.engine.clock.now
         process = self.manager.build_maintenance(unit)
@@ -623,12 +632,15 @@ class DynoScheduler:
             self._handle_broken_query(unit, down)
             return True
         # Success: line 12, remove the head.
+        self.engine.crash_point("serial.pre_commit")
         self._last_broken_unit_ids = None
         metrics.maintenance_rounds += 1
         self.stats.processed_messages.extend(
             (message.source, message.seqno) for message in unit
         )
         self.umq.remove_head()
+        self.engine.crash_point("serial.post_commit")
+        self._maybe_checkpoint()
         return True
 
     def _defer_step(self) -> bool:
@@ -685,7 +697,10 @@ class DynoScheduler:
         assert isinstance(broken, BrokenQueryError)
         policy = self.strategy.on_broken_query
         if policy is BrokenQueryPolicy.SKIP:
-            self.umq.remove_head()
+            skipped = self.umq.remove_head()
+            journal = getattr(self.manager, "journal", None)
+            if journal is not None:
+                journal.record_skip(skipped)
             self.stats.skipped_updates += 1
             return
         if policy is BrokenQueryPolicy.MERGE_ALL:

@@ -55,7 +55,15 @@ class DyDaSystem:
         trace: bool = False,
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
+        journal: bool = False,
+        checkpoint_every: int = 8,
+        crash_plan=None,
     ) -> None:
+        """``journal`` arms the crash-recovery subsystem
+        (:mod:`repro.recovery`): write-ahead journal + checkpoint every
+        ``checkpoint_every`` installs, in-memory stores.  ``crash_plan``
+        additionally kills the warehouse per the seeded plan; ``run()``
+        then recovers and resumes (implies ``journal``)."""
         self.engine = SimEngine(
             cost_model or CostModel.paper_default(), trace=trace
         )
@@ -65,6 +73,11 @@ class DyDaSystem:
             )
         self.strategy = strategy
         self.mkb = mkb or MetaKnowledgeBase()
+        self._journal = journal or crash_plan is not None
+        self._checkpoint_every = checkpoint_every
+        self._crash_plan = crash_plan
+        self._recovery = None
+        self.crash_reports: list = []
         self._view_definitions: list[ViewDefinition] = []
         self._manager: ViewManager | MultiViewManager | None = None
         self._scheduler: DynoScheduler | None = None
@@ -118,6 +131,29 @@ class DyDaSystem:
                 self.engine, self._view_definitions, self.mkb
             )
         self._scheduler = DynoScheduler(self._manager, self.strategy)
+        if self._journal:
+            from .recovery import (
+                CrashInjector,
+                MemoryCheckpointStore,
+                MemoryJournalSink,
+                RecoveryHarness,
+            )
+
+            self._recovery = RecoveryHarness(
+                self.engine,
+                self._manager,
+                self._scheduler,
+                MemoryJournalSink(),
+                MemoryCheckpointStore(),
+                checkpoint_every=self._checkpoint_every,
+                strategy=self.strategy,
+                mkb=self.mkb,
+            )
+            self._recovery.attach()
+            if self._crash_plan is not None:
+                self.engine.crash_injector = CrashInjector(
+                    self._crash_plan
+                )
 
     # ------------------------------------------------------------------
     # update stream
@@ -153,10 +189,42 @@ class DyDaSystem:
     # ------------------------------------------------------------------
 
     def run(self) -> SchedulerStats:
-        """Maintain until quiescent (UMQ empty, no pending commits)."""
+        """Maintain until quiescent (UMQ empty, no pending commits).
+
+        With the journal armed, injected warehouse crashes are survived:
+        the warehouse is rebuilt via :mod:`repro.recovery` and the run
+        resumes until genuine quiescence."""
         self._ensure_started()
         assert self._scheduler is not None
-        return self._scheduler.run()
+        if self._recovery is None:
+            return self._scheduler.run()
+        from .recovery import SchedulerCrash, simulate_crash
+
+        while True:
+            try:
+                return self._scheduler.run()
+            except SchedulerCrash:
+                while True:
+                    simulate_crash(self.engine)
+                    try:
+                        recovered = self._recovery.recover()
+                        break
+                    except SchedulerCrash:
+                        continue
+                self._manager = recovered.manager
+                self._scheduler = recovered.scheduler
+                self._recovery = recovered.harness
+                self.crash_reports.append(recovered.report)
+
+    def committed_updates(self) -> frozenset:
+        """Every (source, seqno) whose maintenance committed, across
+        crashes (journal-installed plus live processed messages)."""
+        self._ensure_started()
+        assert self._scheduler is not None
+        refs = set(self._scheduler.stats.processed_messages)
+        if self._recovery is not None:
+            refs |= self._recovery.installed_refs()
+        return frozenset(refs)
 
     # ------------------------------------------------------------------
     # inspection

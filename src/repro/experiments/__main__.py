@@ -27,6 +27,7 @@ from . import (
     run_group_maintenance_ablation,
     run_incremental_detection_ablation,
     run_parallel_ablation,
+    run_recovery_ablation,
     run_snapshot_cache_ablation,
     run_starvation_study,
 )
@@ -44,6 +45,9 @@ def _runners(
     seed: int | None = None,
     snapshot_cache: bool = False,
     group_maintenance: bool = False,
+    journal: bool = False,
+    checkpoint_every: int = 8,
+    crash_seed: int | None = None,
 ) -> dict:
     tuples = _FULL_TUPLES if full else _QUICK_TUPLES
     # --seed overrides the workload seed of every runner that draws a
@@ -57,6 +61,17 @@ def _runners(
     # --batch likewise arms adaptive group maintenance for every figure
     # runner; ABL-8 runs both arms internally.
     batched = {"group_maintenance": group_maintenance}
+    # --journal / --checkpoint-every / --crash-seed arm the crash-
+    # recovery subsystem on every fig08..fig12 testbed; a crash seed
+    # draws one CrashPlan that kills and recovers each run mid-flight.
+    # Crash-anywhere equivalence guarantees the recovered extent and
+    # committed update set match the uncrashed run; the cost series
+    # additionally charge the maintenance work redone after recovery.
+    recovered = {
+        "journal": journal or crash_seed is not None,
+        "checkpoint_every": checkpoint_every,
+        "crash_seed": crash_seed,
+    }
     return {
         "fig08": lambda: run_fig08(
             tuples_per_relation=tuples,
@@ -64,9 +79,10 @@ def _runners(
             **seeded,
             **cached,
             **batched,
+            **recovered,
         ),
         "fig09": lambda: run_fig09(
-            tuples_per_relation=tuples, **cached, **batched
+            tuples_per_relation=tuples, **cached, **batched, **recovered
         ),
         "fig10": lambda: run_fig10(
             tuples_per_relation=tuples,
@@ -74,6 +90,7 @@ def _runners(
             **seeded,
             **cached,
             **batched,
+            **recovered,
         ),
         "fig11": lambda: run_fig11(
             tuples_per_relation=tuples,
@@ -81,6 +98,7 @@ def _runners(
             **seeded,
             **cached,
             **batched,
+            **recovered,
         ),
         "fig12": lambda: run_fig12(
             tuples_per_relation=tuples,
@@ -88,6 +106,7 @@ def _runners(
             **seeded,
             **cached,
             **batched,
+            **recovered,
         ),
         "abl-blind-merge": lambda: run_blind_merge_ablation(
             tuples_per_relation=tuples,
@@ -116,6 +135,14 @@ def _runners(
         "abl-snapshot-cache": lambda: run_snapshot_cache_ablation(
             **(
                 {"du_counts": (120, 240, 480), "tuples_per_relation": 400}
+                if full
+                else {}
+            ),
+            **seeded,
+        ),
+        "abl-recovery": lambda: run_recovery_ablation(
+            **(
+                {"du_count": 96, "tuples_per_relation": 600}
                 if full
                 else {}
             ),
@@ -181,6 +208,30 @@ def main(argv: list[str] | None = None) -> int:
         help="run without group maintenance (the default)",
     )
     parser.set_defaults(group_maintenance=False)
+    parser.add_argument(
+        "--journal",
+        action="store_true",
+        help="arm the write-ahead maintenance journal + checkpoints on "
+        "every fig08..fig12 testbed (measures recovery overhead)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=8,
+        metavar="N",
+        help="checkpoint every N installed units when the journal is "
+        "armed (default 8)",
+    )
+    parser.add_argument(
+        "--crash-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="draw a seeded CrashPlan and kill + recover the warehouse "
+        "mid-run in every fig08..fig12 testbed (implies --journal); "
+        "every run must still converge to the uncrashed view state, "
+        "with the redone work showing up in the cost series",
+    )
     arguments = parser.parse_args(argv)
 
     runners = _runners(
@@ -188,6 +239,9 @@ def main(argv: list[str] | None = None) -> int:
         arguments.seed,
         arguments.snapshot_cache,
         arguments.group_maintenance,
+        arguments.journal,
+        arguments.checkpoint_every,
+        arguments.crash_seed,
     )
     requested = (
         list(runners) if "all" in arguments.figures else arguments.figures

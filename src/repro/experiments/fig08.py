@@ -21,7 +21,7 @@ from ..core.strategies import NAIVE, PESSIMISTIC
 from ..maintenance.grouping import BatchPolicy
 from ..views.consistency import check_convergence
 from .runner import FigureResult
-from .testbed import build_testbed
+from .testbed import build_testbed, recovery_knobs
 
 DEFAULT_DU_COUNTS = (500, 1000, 1500, 2000, 2500, 3000)
 QUICK_DU_COUNTS = (100, 200, 400)
@@ -34,6 +34,9 @@ def run_figure(
     seed: int = 7,
     snapshot_cache: bool = False,
     group_maintenance: bool = False,
+    journal: bool = False,
+    checkpoint_every: int = 8,
+    crash_seed: int | None = None,
 ) -> FigureResult:
     result = FigureResult(
         figure_id="FIG-8",
@@ -52,6 +55,7 @@ def run_figure(
                 tuples_per_relation=tuples_per_relation,
                 snapshot_cache=snapshot_cache,
                 batch_policy=BatchPolicy() if group_maintenance else None,
+                **recovery_knobs(journal, checkpoint_every, crash_seed),
             )
             testbed.engine.schedule_workload(
                 testbed.random_du_workload(

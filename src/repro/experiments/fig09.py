@@ -34,6 +34,7 @@ from .testbed import (
     build_testbed,
     fixed_drop_attribute,
     fixed_rename_relation,
+    recovery_knobs,
 )
 
 #: spacing that guarantees no overlap (≫ one SC maintenance time)
@@ -47,12 +48,14 @@ def _run_one(
     tuples_per_relation: int,
     snapshot_cache: bool = False,
     group_maintenance: bool = False,
+    recovery: dict | None = None,
 ) -> tuple[float, float, bool]:
     testbed = build_testbed(
         strategy,
         tuples_per_relation=tuples_per_relation,
         snapshot_cache=snapshot_cache,
         batch_policy=BatchPolicy() if group_maintenance else None,
+        **(recovery or {}),
     )
     workload = Workload()
     if workload_kind == "du_sc":
@@ -82,9 +85,13 @@ def run_figure(
     conflict_spacing: float = 0.0,
     snapshot_cache: bool = False,
     group_maintenance: bool = False,
+    journal: bool = False,
+    checkpoint_every: int = 8,
+    crash_seed: int | None = None,
 ) -> FigureResult:
     """``conflict_spacing`` = 0 commits both updates at the same instant
     (they flood the UMQ together, the paper's conflicting setup)."""
+    recovery = recovery_knobs(journal, checkpoint_every, crash_seed)
     result = FigureResult(
         figure_id="FIG-9",
         title="Cost of broken query (virtual s, total incl. abort)",
@@ -102,6 +109,7 @@ def run_figure(
             tuples_per_relation,
             snapshot_cache,
             group_maintenance,
+            recovery,
         )
         pessimistic, _, ok1 = _run_one(
             kind,
@@ -110,6 +118,7 @@ def run_figure(
             tuples_per_relation,
             snapshot_cache,
             group_maintenance,
+            recovery,
         )
         optimistic, abort, ok2 = _run_one(
             kind,
@@ -118,6 +127,7 @@ def run_figure(
             tuples_per_relation,
             snapshot_cache,
             group_maintenance,
+            recovery,
         )
         if not (ok0 and ok1 and ok2):
             result.consistent = False

@@ -22,7 +22,7 @@ from ..core.strategies import OPTIMISTIC, PESSIMISTIC
 from ..maintenance.grouping import BatchPolicy
 from ..views.consistency import check_convergence
 from .runner import FigureResult
-from .testbed import build_testbed
+from .testbed import build_testbed, recovery_knobs
 
 DEFAULT_INTERVALS = (0.0, 3.0, 9.0, 17.0, 23.0, 29.0, 41.0)
 QUICK_INTERVALS = (0.0, 17.0, 41.0)
@@ -37,6 +37,9 @@ def run_figure(
     seed: int = 7,
     snapshot_cache: bool = False,
     group_maintenance: bool = False,
+    journal: bool = False,
+    checkpoint_every: int = 8,
+    crash_seed: int | None = None,
 ) -> FigureResult:
     result = FigureResult(
         figure_id="FIG-10",
@@ -60,6 +63,7 @@ def run_figure(
                 tuples_per_relation=tuples_per_relation,
                 snapshot_cache=snapshot_cache,
                 batch_policy=BatchPolicy() if group_maintenance else None,
+                **recovery_knobs(journal, checkpoint_every, crash_seed),
             )
             testbed.engine.schedule_workload(
                 testbed.random_du_workload(

@@ -16,7 +16,7 @@ from ..core.strategies import OPTIMISTIC, PESSIMISTIC
 from ..maintenance.grouping import BatchPolicy
 from ..views.consistency import check_convergence
 from .runner import FigureResult
-from .testbed import build_testbed
+from .testbed import build_testbed, recovery_knobs
 
 DEFAULT_SC_COUNTS = (5, 10, 15, 20, 25)
 QUICK_SC_COUNTS = (5, 15)
@@ -32,6 +32,9 @@ def run_figure(
     seed: int = 7,
     snapshot_cache: bool = False,
     group_maintenance: bool = False,
+    journal: bool = False,
+    checkpoint_every: int = 8,
+    crash_seed: int | None = None,
 ) -> FigureResult:
     result = FigureResult(
         figure_id="FIG-11",
@@ -55,6 +58,7 @@ def run_figure(
                 tuples_per_relation=tuples_per_relation,
                 snapshot_cache=snapshot_cache,
                 batch_policy=BatchPolicy() if group_maintenance else None,
+                **recovery_knobs(journal, checkpoint_every, crash_seed),
             )
             testbed.engine.schedule_workload(
                 testbed.random_du_workload(

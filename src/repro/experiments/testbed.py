@@ -79,6 +79,14 @@ class Testbed:
     scheduler: DynoScheduler
     tuples_per_relation: int
     rng: random.Random = field(repr=False, default_factory=random.Random)
+    #: construction parameters recovery needs to rebuild the scheduler
+    strategy: Strategy | None = None
+    parallel_workers: int | None = None
+    batch_policy: BatchPolicy | None = None
+    #: crash-recovery harness (``None`` unless ``journal`` was armed)
+    recovery: object | None = None
+    #: one report per recovery performed during :meth:`run`
+    crash_reports: list = field(default_factory=list)
 
     @property
     def metrics(self):
@@ -156,8 +164,49 @@ class Testbed:
         return workload
 
     def run(self) -> None:
-        """Schedule nothing more; drive the scheduler to quiescence."""
-        self.scheduler.run()
+        """Schedule nothing more; drive the scheduler to quiescence.
+
+        With a recovery harness armed, crashes injected mid-run are
+        survived: the dead warehouse is torn down, ``recover()`` rebuilds
+        it from checkpoint + journal, and the run resumes — including
+        crashes injected during recovery itself."""
+        if self.recovery is None:
+            self.scheduler.run()
+            return
+        self.run_recovering()
+
+    def run_recovering(self) -> list:
+        """Crash-surviving run loop; returns the recovery reports."""
+        from ..recovery import SchedulerCrash, simulate_crash
+
+        while True:
+            try:
+                self.scheduler.run()
+                return self.crash_reports
+            except SchedulerCrash:
+                while True:
+                    simulate_crash(self.engine)
+                    try:
+                        recovered = self.recovery.recover()
+                        break
+                    except SchedulerCrash:
+                        # Crashed during recovery: idempotent replay
+                        # makes a second attempt from the same durable
+                        # state safe.
+                        continue
+                self.manager = recovered.manager
+                self.scheduler = recovered.scheduler
+                self.recovery = recovered.harness
+                self.crash_reports.append(recovered.report)
+
+    def committed_updates(self) -> frozenset:
+        """Every (source, seqno) whose maintenance committed, across
+        crashes: journal-installed units from all epochs plus the live
+        scheduler's processed messages."""
+        refs = set(self.scheduler.stats.processed_messages)
+        if self.recovery is not None:
+            refs |= self.recovery.installed_refs()
+        return frozenset(refs)
 
 
 def _populated_engine(
@@ -220,6 +269,76 @@ def _make_scheduler(
     return DynoScheduler(manager, strategy, batch_policy=batch_policy)
 
 
+def _arm_recovery(
+    engine: SimEngine,
+    manager,
+    scheduler,
+    strategy: Strategy,
+    parallel_workers: int | None,
+    batch_policy: BatchPolicy | None,
+    checkpoint_every: int,
+    crash_plan,
+    journal_dir,
+):
+    """Attach a journal + checkpoint harness (and a crash injector)."""
+    from ..recovery import (
+        CrashInjector,
+        FileCheckpointStore,
+        FileJournalSink,
+        MemoryCheckpointStore,
+        MemoryJournalSink,
+        RecoveryHarness,
+    )
+
+    if journal_dir is not None:
+        from pathlib import Path
+
+        directory = Path(journal_dir)
+        sink = FileJournalSink(directory / "journal.jsonl")
+        store = FileCheckpointStore(directory / "checkpoint.json")
+    else:
+        sink = MemoryJournalSink()
+        store = MemoryCheckpointStore()
+    harness = RecoveryHarness(
+        engine,
+        manager,
+        scheduler,
+        sink,
+        store,
+        checkpoint_every=checkpoint_every,
+        strategy=strategy,
+        parallel_workers=parallel_workers,
+        batch_policy=batch_policy,
+        mkb=getattr(manager, "mkb", None),
+    )
+    # Attach (genesis checkpoint) before arming the injector: the plan
+    # starts counting when the scheduler does.
+    harness.attach()
+    if crash_plan is not None:
+        engine.crash_injector = CrashInjector(crash_plan)
+    return harness
+
+
+def recovery_knobs(
+    journal: bool, checkpoint_every: int, crash_seed: int | None
+) -> dict:
+    """``build_testbed`` kwargs for the figure runners' recovery flags.
+
+    ``crash_seed`` draws one seeded :class:`~repro.recovery.crash
+    .CrashPlan` (the same plan for every testbed the figure builds, so a
+    sweep compares like against like) and implies ``journal``."""
+    crash_plan = None
+    if crash_seed is not None:
+        from ..recovery import CrashPlan
+
+        crash_plan = CrashPlan.random(crash_seed)
+    return {
+        "journal": journal or crash_plan is not None,
+        "checkpoint_every": checkpoint_every,
+        "crash_plan": crash_plan,
+    }
+
+
 def build_testbed(
     strategy: Strategy,
     tuples_per_relation: int = 2000,
@@ -229,6 +348,10 @@ def build_testbed(
     parallel_workers: int | None = None,
     snapshot_cache: bool = False,
     batch_policy: BatchPolicy | None = None,
+    journal: bool = False,
+    checkpoint_every: int = 8,
+    crash_plan=None,
+    journal_dir=None,
 ) -> Testbed:
     """Create sources, load data, define the 6-way join view.
 
@@ -252,7 +375,17 @@ def build_testbed(
     ``batch_policy`` arms adaptive group maintenance
     (:mod:`repro.maintenance.grouping`): safe runs of queued units are
     merged into single batched maintenance rounds before dispatch.
+
+    ``journal`` arms the crash-recovery subsystem
+    (:mod:`repro.recovery`): a write-ahead maintenance journal plus a
+    checkpoint every ``checkpoint_every`` installed units, written to
+    in-memory stores (or JSONL/JSON files under ``journal_dir``).
+    ``crash_plan`` additionally installs a
+    :class:`~repro.recovery.crash.CrashInjector` killing the warehouse
+    per the plan; :meth:`Testbed.run` then recovers and resumes
+    (``crash_plan`` implies ``journal``).
     """
+    journal = journal or crash_plan is not None
     engine, rng = _populated_engine(
         tuples_per_relation, cost_model, seed, backend, snapshot_cache
     )
@@ -279,7 +412,30 @@ def build_testbed(
     scheduler = _make_scheduler(
         manager, strategy, parallel_workers, batch_policy
     )
-    return Testbed(engine, manager, scheduler, tuples_per_relation, rng)
+    recovery = None
+    if journal:
+        recovery = _arm_recovery(
+            engine,
+            manager,
+            scheduler,
+            strategy,
+            parallel_workers,
+            batch_policy,
+            checkpoint_every,
+            crash_plan,
+            journal_dir,
+        )
+    return Testbed(
+        engine,
+        manager,
+        scheduler,
+        tuples_per_relation,
+        rng,
+        strategy=strategy,
+        parallel_workers=parallel_workers,
+        batch_policy=batch_policy,
+        recovery=recovery,
+    )
 
 
 def subview_query(first: int, last: int) -> SPJQuery:
@@ -314,6 +470,10 @@ def build_multiview_testbed(
     snapshot_cache: bool = False,
     batch_policy: BatchPolicy | None = None,
     spans: tuple[tuple[int, int], ...] = ((0, 3), (2, RELATION_COUNT)),
+    journal: bool = False,
+    checkpoint_every: int = 8,
+    crash_plan=None,
+    journal_dir=None,
 ) -> Testbed:
     """Like :func:`build_testbed` but with several overlapping subviews
     maintained by one :class:`~repro.views.multi.MultiViewManager`.
@@ -335,7 +495,30 @@ def build_multiview_testbed(
     scheduler = _make_scheduler(
         manager, strategy, parallel_workers, batch_policy
     )
-    return Testbed(engine, manager, scheduler, tuples_per_relation, rng)
+    recovery = None
+    if journal or crash_plan is not None:
+        recovery = _arm_recovery(
+            engine,
+            manager,
+            scheduler,
+            strategy,
+            parallel_workers,
+            batch_policy,
+            checkpoint_every,
+            crash_plan,
+            journal_dir,
+        )
+    return Testbed(
+        engine,
+        manager,
+        scheduler,
+        tuples_per_relation,
+        rng,
+        strategy=strategy,
+        parallel_workers=parallel_workers,
+        batch_policy=batch_policy,
+        recovery=recovery,
+    )
 
 
 def fixed_drop_attribute(

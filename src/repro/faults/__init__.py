@@ -14,12 +14,21 @@ from .injector import FaultInjector, FaultStats
 from .plan import CrashWindow, FaultPlan, LinkFault, TransientFault
 from .retry import RetryPolicy
 
+# Warehouse-side crashes (the warehouse process dying mid-maintenance,
+# as opposed to the *source*-side faults above) live in repro.recovery;
+# re-exported here so one import serves both fault families.
+from ..recovery import CRASH_POINTS, CrashInjector, CrashPlan, SchedulerCrash
+
 __all__ = [
+    "CRASH_POINTS",
+    "CrashInjector",
+    "CrashPlan",
     "CrashWindow",
     "FaultInjector",
     "FaultPlan",
     "FaultStats",
     "LinkFault",
     "RetryPolicy",
+    "SchedulerCrash",
     "TransientFault",
 ]

@@ -1,0 +1,120 @@
+"""Warehouse crash injection.
+
+The scheduler calls :meth:`SimEngine.crash_point` at named points woven
+through the serial step loop, the parallel dispatch/commit-drain, the
+manager's install path, and the checkpoint/replay machinery.  A
+:class:`CrashInjector` armed with a seeded :class:`CrashPlan` counts the
+hits on its target point and, on the configured occurrence, raises
+:class:`SchedulerCrash` — killing the warehouse mid-flight exactly
+there.  With no injector installed every crash point is a no-op.
+
+A crash kills *only the warehouse*: the virtual clock, the sources and
+their update logs, and the scheduled workload commits all survive (see
+:func:`repro.recovery.recover.simulate_crash`).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+
+#: Every named crash point, in rough execution order.  The property
+#: tests sweep this tuple exhaustively; adding a point to the code
+#: without registering it here would silently shrink the sweep.
+CRASH_POINTS: tuple[str, ...] = (
+    # serial scheduler step
+    "serial.pre_detect",
+    "serial.pre_maintain",
+    "serial.pre_commit",
+    "serial.post_commit",
+    # manager install (serial + parallel, single- and multi-view)
+    "install.pre_journal",
+    "install.post_journal",
+    "install.post_apply",
+    # parallel scheduler dispatch / commit drain
+    "parallel.pre_dispatch",
+    "parallel.post_dispatch",
+    "parallel.pre_install",
+    "parallel.post_install",
+    # checkpointing
+    "checkpoint.pre",
+    "checkpoint.mid",
+    "checkpoint.post",
+    # recovery replay (a crash *during recovery* must also be safe)
+    "recover.replay",
+)
+
+
+class SchedulerCrash(Exception):
+    """The warehouse process died at a crash point.
+
+    Deliberately not a :class:`SourceError` subclass: the maintenance
+    machinery catches broken-query and availability errors, and a crash
+    must tear straight through all of it to the run loop.
+    """
+
+    def __init__(self, point: str, hit: int, at: float):
+        super().__init__(f"warehouse crashed at {point} (hit {hit}, t={at:g})")
+        self.point = point
+        self.hit = hit
+        self.at = at
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Kill the scheduler on the ``hit``-th arrival at ``point``."""
+
+    point: str
+    hit: int = 1
+
+    def __post_init__(self) -> None:
+        if self.point not in CRASH_POINTS:
+            raise ValueError(f"unknown crash point {self.point!r}")
+        if self.hit < 1:
+            raise ValueError("hit must be >= 1")
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        points: tuple[str, ...] = CRASH_POINTS,
+        max_hit: int = 3,
+    ) -> "CrashPlan":
+        """A seeded plan; the same seed reproduces the same plan."""
+        rng = random.Random(seed)
+        return cls(rng.choice(list(points)), rng.randint(1, max_hit))
+
+    def describe(self) -> str:
+        return f"crash@{self.point}#{self.hit}"
+
+
+class CrashInjector:
+    """Counts crash-point hits and fires the plan exactly once.
+
+    After firing the injector disarms itself so recovery and the resumed
+    run are not re-killed; :meth:`arm` re-arms it with a fresh plan (the
+    crash-during-replay tests use this to kill recovery itself).
+    """
+
+    def __init__(self, plan: CrashPlan | None):
+        self.plan = plan
+        self.counts: Counter[str] = Counter()
+        self.fired: SchedulerCrash | None = None
+        self.armed = plan is not None
+
+    def arm(self, plan: CrashPlan) -> None:
+        """Re-arm with a fresh plan and a fresh hit count."""
+        self.plan = plan
+        self.counts = Counter()
+        self.fired = None
+        self.armed = True
+
+    def on_point(self, name: str, now: float) -> None:
+        self.counts[name] += 1
+        if not self.armed or self.plan is None or name != self.plan.point:
+            return
+        if self.counts[name] == self.plan.hit:
+            self.armed = False
+            self.fired = SchedulerCrash(name, self.plan.hit, now)
+            raise self.fired

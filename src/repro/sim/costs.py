@@ -77,6 +77,16 @@ class CostModel:
     #: trips queue at the source, so parallel speedup saturates
     #: realistically instead of scaling without bound
     source_channel_limit: int = 1
+    #: fixed latency of one write-ahead journal append (fsync'd record)
+    journal_append_base: float = 0.0001
+    #: per byte serialized into a journal entry
+    journal_append_per_byte: float = 0.0000001
+    #: fixed cost of taking one durable checkpoint
+    checkpoint_base: float = 0.01
+    #: per tuple snapshotted into a checkpoint (extents + cached answers)
+    checkpoint_per_tuple: float = 0.00005
+    #: per journal entry scanned/applied during recovery replay
+    replay_per_entry: float = 0.0002
 
     # ------------------------------------------------------------------
     # derived costs
@@ -130,6 +140,21 @@ class CostModel:
     def batch_merge(self, messages: int) -> float:
         """Forming one voluntary batch over ``messages`` messages."""
         return messages * self.batch_merge_per_message
+
+    def journal_append(self, entry_bytes: int) -> float:
+        """One write-ahead journal record hitting stable storage."""
+        return (
+            self.journal_append_base
+            + entry_bytes * self.journal_append_per_byte
+        )
+
+    def checkpoint(self, tuples: int) -> float:
+        """One durable checkpoint over ``tuples`` snapshotted tuples."""
+        return self.checkpoint_base + tuples * self.checkpoint_per_tuple
+
+    def replay(self, entries: int) -> float:
+        """Scanning/applying ``entries`` journal entries at recovery."""
+        return entries * self.replay_per_entry
 
     @classmethod
     def paper_default(cls) -> "CostModel":
@@ -189,4 +214,9 @@ class CostModel:
             correction_per_element=0.0,
             dispatch_overhead=0.0,
             batch_merge_per_message=0.0,
+            journal_append_base=0.0,
+            journal_append_per_byte=0.0,
+            checkpoint_base=0.0,
+            checkpoint_per_tuple=0.0,
+            replay_per_entry=0.0,
         )

@@ -39,6 +39,12 @@ from .trace import Tracer
 #: a maintenance process: yields effects, receives results
 MaintenanceProcess = Generator[Effect, object, object]
 
+#: Event-owner tag for everything the warehouse process schedules
+#: (wrapper deliveries, worker resumptions, in-flight round trips).
+#: A simulated warehouse crash purges exactly these events; workload
+#: commits and other world events carry no owner and survive.
+WAREHOUSE_OWNER = "warehouse"
+
 
 @dataclass(frozen=True)
 class QueryAnswer:
@@ -69,8 +75,13 @@ class SimEngine:
         self.cost_model = cost_model or CostModel.paper_default()
         self.metrics = Metrics()
         self.sources: dict[str, DataSource] = {}
-        self._events: list[tuple[float, int, Callable[[], None]]] = []
+        self._events: list[
+            tuple[float, int, Callable[[], None], str | None]
+        ] = []
         self._sequence = itertools.count()
+        #: optional :class:`~repro.recovery.crash.CrashInjector`; when
+        #: armed, :meth:`crash_point` can kill the warehouse mid-step
+        self.crash_injector = None
         self.tracer = Tracer(enabled=trace)
         self.injector: "FaultInjector | None" = None
         self.retry_policy: "RetryPolicy | None" = retry_policy
@@ -134,8 +145,36 @@ class SimEngine:
     def source(self, name: str) -> DataSource:
         return self.sources[name]
 
-    def schedule(self, at: float, action: Callable[[], None]) -> None:
-        heapq.heappush(self._events, (at, next(self._sequence), action))
+    def schedule(
+        self,
+        at: float,
+        action: Callable[[], None],
+        owner: str | None = None,
+    ) -> None:
+        """Schedule an event; ``owner`` tags it for crash purging."""
+        heapq.heappush(
+            self._events, (at, next(self._sequence), action, owner)
+        )
+
+    def purge_owned_events(self, owner: str) -> int:
+        """Drop every pending event tagged with ``owner``.
+
+        This is how a simulated warehouse crash loses its in-flight
+        deliveries and worker resumptions; world events (autonomous
+        source commits) are untagged and survive."""
+        survivors = [
+            event for event in self._events if event[3] != owner
+        ]
+        purged = len(self._events) - len(survivors)
+        if purged:
+            self._events = survivors
+            heapq.heapify(self._events)
+        return purged
+
+    def crash_point(self, name: str) -> None:
+        """Named kill point; a no-op unless a crash injector is armed."""
+        if self.crash_injector is not None:
+            self.crash_injector.on_point(name, self.clock.now)
 
     def schedule_commit(self, item: WorkloadItem) -> None:
         """Schedule one autonomous commit for its workload time.
@@ -183,7 +222,7 @@ class SimEngine:
     def advance_to(self, instant: float) -> None:
         """Move the clock to ``instant``, firing due events in order."""
         while self._events and self._events[0][0] <= instant:
-            at, _seq, action = heapq.heappop(self._events)
+            at, _seq, action, _owner = heapq.heappop(self._events)
             self.clock.advance_to(max(at, self.clock.now))
             action()
         self.clock.advance_to(instant)

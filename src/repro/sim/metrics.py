@@ -94,6 +94,16 @@ class Metrics:
     #: cache entries dropped because a schema change committed in the
     #: version gap (broken-query semantics preserved, Thm. 1)
     cache_invalidations_sc: int = 0
+    #: write-ahead journal entries appended (queue mutations + installs)
+    journal_entries: int = 0
+    #: bytes appended to the maintenance journal
+    journal_bytes: int = 0
+    #: durable checkpoints taken (journal truncated at each)
+    checkpoints_taken: int = 0
+    #: warehouse crash recoveries performed
+    recoveries: int = 0
+    #: journal entries scanned during recovery replays
+    replayed_entries: int = 0
     #: broken-query anomalies by Section 3.1 type (3 = SC vs M(DU),
     #: 4 = SC vs M(SC)); types 1-2 never abort — they are absorbed by
     #: compensation and visible in the manager's CompensationLog
@@ -159,6 +169,11 @@ class Metrics:
             "patched_answers": self.patched_answers,
             "saved_round_trips": self.saved_round_trips,
             "cache_invalidations_sc": self.cache_invalidations_sc,
+            "journal_entries": self.journal_entries,
+            "journal_bytes": self.journal_bytes,
+            "checkpoints_taken": self.checkpoints_taken,
+            "recoveries": self.recoveries,
+            "replayed_entries": self.replayed_entries,
             "worker_utilization": self.worker_utilization(),
             "anomalies": {
                 kind.name: count for kind, count in self.anomalies.items()

@@ -83,7 +83,13 @@ class Wrapper:
             return
         self._pending.append(message)
         arrival = max(message.committed_at + delay, engine.clock.now)
-        engine.schedule(arrival, lambda: self._arrive(message))
+        from ..sim.engine import WAREHOUSE_OWNER
+
+        engine.schedule(
+            arrival,
+            lambda: self._arrive(message),
+            owner=WAREHOUSE_OWNER,
+        )
 
     def _arrive(self, message: UpdateMessage) -> None:
         """The transmission delay elapsed; deliver in commit order."""

@@ -85,11 +85,19 @@ class ViewManager:
         mkb: MetaKnowledgeBase | None = None,
         umq: UpdateMessageQueue | None = None,
         attach_wrappers: bool = True,
+        initial_extent: "Table | None" = None,
     ) -> None:
         """``umq``/``attach_wrappers`` let several managers share one
-        queue (see :class:`~repro.views.multi.MultiViewManager`)."""
+        queue (see :class:`~repro.views.multi.MultiViewManager`).
+
+        ``initial_extent`` is the crash-recovery restore path: the
+        extent is installed verbatim (no ``result_schema`` resolution
+        against live sources — the definition may reference renamed
+        relations — and no initial load)."""
         self.engine = engine
         self.view = view
+        #: write-ahead maintenance journal (armed by a RecoveryHarness)
+        self.journal = None
         # NOTE: ``umq or ...`` would discard a shared-but-empty queue
         # (UpdateMessageQueue defines __len__), hence the identity test.
         self.umq = umq if umq is not None else UpdateMessageQueue()
@@ -105,10 +113,15 @@ class ViewManager:
                 self.wrappers.append(
                     Wrapper(source, self.umq.receive, engine=engine)
                 )
-        self.mv = MaterializedView(
-            view.name, view.result_schema(engine.sources)
-        )
-        self.initial_load()
+        if initial_extent is not None:
+            self.mv = MaterializedView(view.name, initial_extent.schema)
+            self.mv.replace_extent(initial_extent, view.version)
+            self.mv.refresh_count = 0
+        else:
+            self.mv = MaterializedView(
+                view.name, view.result_schema(engine.sources)
+            )
+            self.initial_load()
 
     # ------------------------------------------------------------------
     # plumbing
@@ -277,8 +290,19 @@ class ViewManager:
         return self.compute_maintenance(unit, pending_feed)
 
     def install_unit(self, prepared, unit: MaintenanceUnit) -> None:
-        """Install a prepared outcome from :meth:`compute_unit`."""
+        """Install a prepared outcome from :meth:`compute_unit`.
+
+        Write-ahead rule: when a maintenance journal is armed, the
+        install entry hits the sink *before* the extent is touched, so
+        a crash at any point here is recoverable (either the entry is
+        absent and the unit re-runs, or it is present and replay
+        re-applies the recorded effect)."""
+        self.engine.crash_point("install.pre_journal")
+        if self.journal is not None:
+            self.journal.record_install(unit, [prepared])
+            self.engine.crash_point("install.post_journal")
         self.apply_outcome(prepared, counted_updates=len(unit))
+        self.engine.crash_point("install.post_apply")
 
     def compute_maintenance(
         self, unit: MaintenanceUnit, pending_feed=None

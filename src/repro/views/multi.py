@@ -46,21 +46,32 @@ class MultiViewManager:
         engine: SimEngine,
         views: list[ViewDefinition],
         mkb: MetaKnowledgeBase | None = None,
+        initial_extents: "dict | None" = None,
     ) -> None:
+        """``initial_extents`` (view name -> Table) is the crash-recovery
+        restore path; see :class:`~repro.views.manager.ViewManager`."""
         if not views:
             raise ValueError("MultiViewManager needs at least one view")
         names = [view.name for view in views]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate view names: {names}")
         self.engine = engine
+        #: write-ahead maintenance journal (armed by a RecoveryHarness)
+        self.journal = None
         self.umq = UpdateMessageQueue()
         self.wrappers: list[Wrapper] = [
             Wrapper(source, self.umq.receive, engine=engine)
             for source in engine.sources.values()
         ]
+        extents = initial_extents or {}
         self.managers: list[ViewManager] = [
             ViewManager(
-                engine, view, mkb, umq=self.umq, attach_wrappers=False
+                engine,
+                view,
+                mkb,
+                umq=self.umq,
+                attach_wrappers=False,
+                initial_extent=extents.get(view.name),
             )
             for view in views
         ]
@@ -155,10 +166,21 @@ class MultiViewManager:
     def install_unit(
         self, prepared: list[MaintenanceOutcome], unit: MaintenanceUnit
     ) -> None:
-        """Install every view's prepared outcome atomically."""
+        """Install every view's prepared outcome atomically.
+
+        With a journal armed, one write-ahead entry covers the whole
+        unit across every view *before* any extent is touched: a crash
+        between per-view applies is repaired by replay, which re-applies
+        all recorded effects — restoring the atomicity a live run gets
+        from compute-then-install."""
+        self.engine.crash_point("install.pre_journal")
+        if self.journal is not None:
+            self.journal.record_install(unit, list(prepared))
+            self.engine.crash_point("install.post_journal")
         for index, (manager, outcome) in enumerate(
             zip(self.managers, prepared)
         ):
             manager.apply_outcome(
                 outcome, counted_updates=len(unit) if index == 0 else 0
             )
+        self.engine.crash_point("install.post_apply")

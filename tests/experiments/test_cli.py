@@ -31,7 +31,13 @@ class TestExecution:
                 return "FAKE TABLE"
 
         def fake_runners(
-            full, seed=None, snapshot_cache=False, group_maintenance=False
+            full,
+            seed=None,
+            snapshot_cache=False,
+            group_maintenance=False,
+            journal=False,
+            checkpoint_every=8,
+            crash_seed=None,
         ):
             return {"fig09": lambda: calls.append(full) or FakeResult()}
 
@@ -52,7 +58,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, group_maintenance=False: {
+            lambda full, seed=None, snapshot_cache=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
                 "fig09": lambda: seen.append(full) or FakeResult()
             },
         )
@@ -71,7 +77,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, group_maintenance=False: {
+            lambda full, seed=None, snapshot_cache=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
                 "fig09": lambda: seen.append(seed) or FakeResult()
             },
         )
@@ -91,7 +97,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, group_maintenance=False: {
+            lambda full, seed=None, snapshot_cache=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
                 "fig09": lambda: seen.append(snapshot_cache) or FakeResult()
             },
         )
@@ -116,7 +122,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, group_maintenance=False: {
+            lambda full, seed=None, snapshot_cache=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
                 "fig09": lambda: seen.append(group_maintenance)
                 or FakeResult()
             },
@@ -130,6 +136,34 @@ class TestExecution:
         with pytest.raises(SystemExit):
             cli.main(["fig09", "--batch", "--no-batch"])
 
+    def test_recovery_flags_threaded_through(self, monkeypatch):
+        seen = []
+
+        class FakeResult:
+            consistent = True
+
+            def table(self):
+                return ""
+
+        monkeypatch.setattr(
+            cli,
+            "_runners",
+            lambda full, seed=None, snapshot_cache=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
+                "fig09": lambda: seen.append(
+                    (journal, checkpoint_every, crash_seed)
+                )
+                or FakeResult()
+            },
+        )
+        cli.main(["fig09", "--journal", "--checkpoint-every", "4"])
+        cli.main(["fig09", "--crash-seed", "11"])
+        cli.main(["fig09"])
+        assert seen == [(True, 4, None), (False, 8, 11), (False, 8, None)]
+
+    def test_crash_seed_implies_journal_in_runners(self):
+        runners = cli._runners(full=False, crash_seed=3)
+        assert "fig12" in runners
+
     def test_batch_and_cache_flags_compose(self, monkeypatch):
         seen = []
 
@@ -142,7 +176,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, group_maintenance=False: {
+            lambda full, seed=None, snapshot_cache=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
                 "fig09": lambda: seen.append(
                     (snapshot_cache, group_maintenance)
                 )
@@ -164,7 +198,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, group_maintenance=False: {
+            lambda full, seed=None, snapshot_cache=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
                 name: (lambda n=name: ran.append(n) or FakeResult())
                 for name in ("fig09", "fig10")
             },
@@ -180,6 +214,6 @@ class TestExecution:
                 return ""
 
         monkeypatch.setattr(
-            cli, "_runners", lambda full, seed=None, snapshot_cache=False, group_maintenance=False: {"fig09": BadResult}
+            cli, "_runners", lambda full, seed=None, snapshot_cache=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {"fig09": BadResult}
         )
         assert cli.main(["fig09"]) == 1

@@ -1,0 +1,167 @@
+"""Backend parity on broken-query detection after schema changes.
+
+The Dyno anomaly detector reasons about broken queries purely from the
+:class:`BrokenQueryError` contract; a backend that detects them
+differently would skew detection.  For every ALTER-TABLE-backed schema
+change path of :class:`SqliteDataSource` — drop attribute, rename
+attribute, rename relation, drop relation — this module applies the
+identical change to an in-memory :class:`DataSource` twin and asserts
+both backends agree query-by-query: same answers where the query still
+parses against the live schema, and :class:`BrokenQueryError` from both
+(never just one) where it does not.
+"""
+
+import pytest
+
+from repro.relational.predicate import attr
+from repro.relational.query import RelationRef, SPJQuery
+from repro.relational.schema import RelationSchema
+from repro.relational.types import AttributeType
+from repro.sources.errors import BrokenQueryError
+from repro.sources.messages import (
+    DropAttribute,
+    DropRelation,
+    RenameAttribute,
+    RenameRelation,
+)
+from repro.sources.source import DataSource
+from repro.sources.sqlite_source import SqliteDataSource
+
+ITEM = RelationSchema.of(
+    "Item",
+    [
+        ("SID", AttributeType.INT),
+        "Book",
+        ("Price", AttributeType.FLOAT),
+    ],
+)
+ROWS = [(1, "Databases", 50.0), (2, "Compilers", 40.0)]
+
+
+def twins():
+    memory = DataSource("retailer")
+    sqlite = SqliteDataSource("retailer")
+    for source in (memory, sqlite):
+        source.create_relation(ITEM, ROWS)
+    return memory, sqlite
+
+
+def query_over(relation: str, *attributes: str) -> SPJQuery:
+    return SPJQuery(
+        relations=(RelationRef("retailer", relation, "I"),),
+        projection=tuple(attr("I", name) for name in attributes),
+    )
+
+
+def assert_parity(memory, sqlite, query):
+    """Both backends answer identically or both flag the query broken."""
+    try:
+        expected = sorted(memory.execute(query).rows())
+    except BrokenQueryError:
+        with pytest.raises(BrokenQueryError):
+            sqlite.execute(query)
+        return None
+    got = sorted(sqlite.execute(query).rows())
+    assert got == expected
+    return expected
+
+
+PROBES = [
+    query_over("Item", "Book", "Price"),
+    query_over("Item", "Book"),
+    query_over("Item", "Price"),
+    query_over("Item", "SID"),
+    query_over("Stock", "Book"),
+]
+
+
+def apply_both(memory, sqlite, update):
+    committed = [memory.commit(update), sqlite.commit(update)]
+    assert committed[0].payload == committed[1].payload
+
+
+@pytest.mark.parametrize(
+    "update",
+    [
+        DropAttribute("Item", "Price"),
+        RenameAttribute("Item", "Price", "Cost"),
+        RenameRelation("Item", "Stock"),
+        DropRelation("Item"),
+    ],
+    ids=["drop-attr", "rename-attr", "rename-rel", "drop-rel"],
+)
+def test_broken_query_parity_after_schema_change(update):
+    memory, sqlite = twins()
+    for probe in PROBES:
+        assert_parity(memory, sqlite, probe)  # pre-change agreement
+    apply_both(memory, sqlite, update)
+    answered = broken = 0
+    for probe in PROBES:
+        if assert_parity(memory, sqlite, probe) is None:
+            broken += 1
+        else:
+            answered += 1
+    # the change must actually split the probe set: some probes break,
+    # the untouched ones keep answering (Section 3.1 — only referenced
+    # schema elements break a query)
+    assert broken > 0
+    if not isinstance(update, DropRelation):
+        assert answered > 0
+
+
+def test_rename_attribute_answers_under_new_name():
+    memory, sqlite = twins()
+    apply_both(memory, sqlite, RenameAttribute("Item", "Price", "Cost"))
+    probe = query_over("Item", "Book", "Cost")
+    assert assert_parity(memory, sqlite, probe) == [
+        ("Compilers", 40.0),
+        ("Databases", 50.0),
+    ]
+    with pytest.raises(BrokenQueryError):
+        memory.execute(query_over("Item", "Price"))
+    with pytest.raises(BrokenQueryError):
+        sqlite.execute(query_over("Item", "Price"))
+
+
+def test_rename_relation_answers_under_new_name():
+    memory, sqlite = twins()
+    apply_both(memory, sqlite, RenameRelation("Item", "Stock"))
+    probe = query_over("Stock", "Book", "Price")
+    assert assert_parity(memory, sqlite, probe) == [
+        ("Compilers", 40.0),
+        ("Databases", 50.0),
+    ]
+
+
+def test_chained_changes_keep_parity():
+    """A realistic SC burst: rename the relation, rename an attribute,
+    then drop another — parity must hold at every intermediate step."""
+    memory, sqlite = twins()
+    steps = [
+        RenameRelation("Item", "Stock"),
+        RenameAttribute("Stock", "Price", "Cost"),
+        DropAttribute("Stock", "SID"),
+    ]
+    probes = PROBES + [
+        query_over("Stock", "Cost"),
+        query_over("Stock", "Book", "Cost"),
+        query_over("Stock", "SID"),
+    ]
+    for update in steps:
+        apply_both(memory, sqlite, update)
+        for probe in probes:
+            assert_parity(memory, sqlite, probe)
+    # end state: only Book and Cost survive, under the new names
+    assert assert_parity(
+        memory, sqlite, query_over("Stock", "Book", "Cost")
+    ) == [("Compilers", 40.0), ("Databases", 50.0)]
+
+
+def test_dropped_relation_breaks_identically():
+    memory, sqlite = twins()
+    apply_both(memory, sqlite, DropRelation("Item"))
+    for probe in PROBES:
+        with pytest.raises(BrokenQueryError):
+            memory.execute(probe)
+        with pytest.raises(BrokenQueryError):
+            sqlite.execute(probe)
