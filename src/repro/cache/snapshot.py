@@ -197,10 +197,14 @@ class SnapshotCache:
                 if count > 0:
                     table.insert(row, count)
             self._count("patched_answers")
-        if gap:
-            # Re-stamp at current so the next serve is an exact hit.
-            del self._entries[key]
-            self._entries[key] = _Entry(current, table)
+        # Move-to-end on *every* hit, not just after a non-empty gap: the
+        # insertion-ordered dict doubles as the recency order, so an
+        # exact hit left in place would age like an untouched entry and
+        # the ``max_entries`` loop would evict the hottest keys
+        # FIFO-style.  (A non-empty gap additionally re-stamps at
+        # ``current`` so the next serve is an exact hit.)
+        del self._entries[key]
+        self._entries[key] = _Entry(current, table)
         self._count("cache_hits")
         self._count("saved_round_trips")
         return CacheHit(table.copy(), patched_rows)

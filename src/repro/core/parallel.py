@@ -132,6 +132,9 @@ class ParallelScheduler(DynoScheduler):
         #: (no slot held) yet were answered at a single instant like any
         #: trip — replayed by the equivalence property tests
         self.cache_audit: list[dict] = []
+        #: same audit for self-maintenance aux serves (channel-free,
+        #: single-instant answers, zero trips)
+        self.aux_audit: list[dict] = []
         self.umq.add_listener(self)
 
     def detach(self) -> None:
@@ -427,6 +430,8 @@ class ParallelScheduler(DynoScheduler):
             raise TypeError(f"unknown effect {effect!r}")
 
     def _submit_query(self, worker: WorkerState, effect: SourceQuery) -> None:
+        if self._serve_from_aux(worker, effect):
+            return
         if self._serve_from_cache(worker, effect):
             return
         job = QueryJob(
@@ -487,6 +492,54 @@ class ParallelScheduler(DynoScheduler):
             self._advance_process(worker, payload=answer)
         return True
 
+    def _serve_from_aux(
+        self, worker: WorkerState, effect: SourceQuery
+    ) -> bool:
+        """An aux hit is channel-free exactly like a cache hit: no
+        admission, no slot, no batching — the worker resumes after the
+        (tiny) local serve cost with an answer pinned at the serve
+        instant, so compensation and the dispatch-order install +
+        taint-restart discipline treat it like any real trip's answer."""
+        store = self.engine.selfmaint
+        if store is None or not effect.cacheable:
+            return False
+        hit = store.serve(
+            self.engine.sources[effect.source_name], effect.query
+        )
+        if hit is None:
+            return False
+        now = self.engine.clock.now
+        channel = self.channels.get(effect.source_name)
+        self.aux_audit.append(
+            {
+                "at": now,
+                "worker": worker.index,
+                "source": effect.source_name,
+                "applied_rows": hit.applied_rows,
+                "channel_in_flight": (
+                    channel.in_flight if channel is not None else 0
+                ),
+                "channel_waiting": (
+                    len(channel.waiting) if channel is not None else 0
+                ),
+            }
+        )
+        worker.aux_serves += 1
+        self.engine.tracer.record(
+            now,
+            trace_kinds.QUERY,
+            f"{effect.source_name} -> {len(hit.table)} tuples "
+            f"(aux, worker {worker.index})",
+        )
+        serve_cost = self.engine.cost_model.aux_serve(hit.applied_rows)
+        self._charge_worker(worker, effect.kind, serve_cost)
+        answer = QueryAnswer(hit.table, now)
+        if serve_cost > 0:
+            self._resume_later(now + serve_cost, worker, answer)
+        else:
+            self._advance_process(worker, payload=answer)
+        return True
+
     def _enqueue_job(self, job: QueryJob) -> None:
         channel = self._channel(job.effect.source_name)
         trip = channel.submit(job)
@@ -515,6 +568,11 @@ class ParallelScheduler(DynoScheduler):
                 job.worker.busy_time += combined
                 metrics.worker_busy_time[job.worker.index] += combined
         metrics.source_round_trips += 1
+        for job in trip.jobs:
+            # Any wire trip (retries and combined batch trips included)
+            # disqualifies the participating unit from counting as
+            # self-maintained at install time.
+            job.worker.wire_trips += 1
         if trip.is_batch:
             metrics.batch_round_trips += 1
             metrics.batched_queries += len(trip.jobs)
@@ -610,6 +668,10 @@ class ParallelScheduler(DynoScheduler):
             self.engine.crash_point("parallel.pre_install")
             self._commit_order.pop(0)
             self.manager.install_unit(worker.outcome, unit)
+            if not unit.has_schema_change:
+                self.engine.metrics.data_unit_rounds += 1
+                if worker.wire_trips == 0:
+                    self.engine.metrics.self_maintained_units += 1
             worker.release()
             self.engine.metrics.maintenance_rounds += 1
             self.stats.processed_messages.extend(

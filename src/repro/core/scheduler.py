@@ -101,6 +101,17 @@ class SchedulerStats:
     cache_invalidations_sc: int = 0
     #: maintenance queries that actually travelled to a source
     source_round_trips: int = 0
+    # -- self-maintenance aux store (mirrors of engine metrics) --------
+    #: maintenance queries answered by the auxiliary store
+    aux_hits: int = 0
+    #: aux-eligible queries the store could not cover
+    aux_misses: int = 0
+    #: aux replicas dropped by a schema change in the version gap
+    aux_invalidations_sc: int = 0
+    #: data-update units maintained with zero source round trips
+    self_maintained_units: int = 0
+    #: committed data-update maintenance rounds (the denominator)
+    data_unit_rounds: int = 0
 
 
 class DynoScheduler:
@@ -137,6 +148,13 @@ class DynoScheduler:
         """
         self.manager = manager
         self.strategy = strategy
+        # Strict compensation for Dyno-corrected runs: under a corrected
+        # order a probe answer can never go negative, so clamping would
+        # hide a real ordering bug.  Baselines (skip / merge-all) keep
+        # the historical clamp — broken ordering is their design.
+        if strategy.on_broken_query is BrokenQueryPolicy.CORRECT:
+            for inner in getattr(manager, "managers", None) or [manager]:
+                inner.compensation_log.strict = True
         self.max_iterations = max_iterations
         self.defer_du_interval = defer_du_interval
         self.batch_policy = batch_policy
@@ -552,6 +570,11 @@ class DynoScheduler:
         self.stats.patched_answers = metrics.patched_answers
         self.stats.cache_invalidations_sc = metrics.cache_invalidations_sc
         self.stats.source_round_trips = metrics.source_round_trips
+        self.stats.aux_hits = metrics.aux_hits
+        self.stats.aux_misses = metrics.aux_misses
+        self.stats.aux_invalidations_sc = metrics.aux_invalidations_sc
+        self.stats.self_maintained_units = metrics.self_maintained_units
+        self.stats.data_unit_rounds = metrics.data_unit_rounds
 
     # ------------------------------------------------------------------
     # the Dyno loop
@@ -597,6 +620,7 @@ class DynoScheduler:
         self.engine.crash_point("serial.pre_maintain")
         unit = self.umq.head()
         started_at = self.engine.clock.now
+        trips_before = metrics.source_round_trips
         process = self.manager.build_maintenance(unit)
         try:
             self.engine.run_process(process)
@@ -634,6 +658,10 @@ class DynoScheduler:
         # Success: line 12, remove the head.
         self.engine.crash_point("serial.pre_commit")
         self._last_broken_unit_ids = None
+        if not unit.has_schema_change:
+            metrics.data_unit_rounds += 1
+            if metrics.source_round_trips == trips_before:
+                metrics.self_maintained_units += 1
         metrics.maintenance_rounds += 1
         self.stats.processed_messages.extend(
             (message.source, message.seqno) for message in unit

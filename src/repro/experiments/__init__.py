@@ -7,6 +7,7 @@ from .ablations import (
     run_incremental_detection_ablation,
     run_parallel_ablation,
     run_recovery_ablation,
+    run_self_maintenance_ablation,
     run_snapshot_cache_ablation,
 )
 from .fig08 import run_figure as run_fig08
@@ -35,6 +36,7 @@ __all__ = [
     "run_incremental_detection_ablation",
     "run_parallel_ablation",
     "run_recovery_ablation",
+    "run_self_maintenance_ablation",
     "run_snapshot_cache_ablation",
     "run_starvation_study",
 ]

@@ -28,6 +28,7 @@ from . import (
     run_incremental_detection_ablation,
     run_parallel_ablation,
     run_recovery_ablation,
+    run_self_maintenance_ablation,
     run_snapshot_cache_ablation,
     run_starvation_study,
 )
@@ -44,6 +45,7 @@ def _runners(
     full: bool,
     seed: int | None = None,
     snapshot_cache: bool = False,
+    self_maintenance: bool = False,
     group_maintenance: bool = False,
     journal: bool = False,
     checkpoint_every: int = 8,
@@ -58,6 +60,9 @@ def _runners(
     # each chart can be produced in both arms; the ablations manage the
     # cache themselves (ABL-7 runs both arms internally).
     cached = {"snapshot_cache": snapshot_cache}
+    # --self-maintenance likewise arms the auxiliary store for every
+    # figure runner; ABL-10 runs its three arms internally.
+    selfmaint = {"self_maintenance": self_maintenance}
     # --batch likewise arms adaptive group maintenance for every figure
     # runner; ABL-8 runs both arms internally.
     batched = {"group_maintenance": group_maintenance}
@@ -78,17 +83,23 @@ def _runners(
             **({} if full else {"du_counts": FIG8_QUICK}),
             **seeded,
             **cached,
+            **selfmaint,
             **batched,
             **recovered,
         ),
         "fig09": lambda: run_fig09(
-            tuples_per_relation=tuples, **cached, **batched, **recovered
+            tuples_per_relation=tuples,
+            **cached,
+            **selfmaint,
+            **batched,
+            **recovered,
         ),
         "fig10": lambda: run_fig10(
             tuples_per_relation=tuples,
             **({} if full else {"intervals": FIG10_QUICK, "du_count": 60}),
             **seeded,
             **cached,
+            **selfmaint,
             **batched,
             **recovered,
         ),
@@ -97,6 +108,7 @@ def _runners(
             **({} if full else {"sc_counts": FIG11_QUICK, "du_count": 60}),
             **seeded,
             **cached,
+            **selfmaint,
             **batched,
             **recovered,
         ),
@@ -105,6 +117,7 @@ def _runners(
             **({} if full else {"du_counts": FIG12_QUICK}),
             **seeded,
             **cached,
+            **selfmaint,
             **batched,
             **recovered,
         ),
@@ -133,6 +146,14 @@ def _runners(
             **seeded,
         ),
         "abl-snapshot-cache": lambda: run_snapshot_cache_ablation(
+            **(
+                {"du_counts": (120, 240, 480), "tuples_per_relation": 400}
+                if full
+                else {}
+            ),
+            **seeded,
+        ),
+        "abl-self-maintenance": lambda: run_self_maintenance_ablation(
             **(
                 {"du_counts": (120, 240, 480), "tuples_per_relation": 400}
                 if full
@@ -194,6 +215,21 @@ def main(argv: list[str] | None = None) -> int:
         help="run without the snapshot cache (the default)",
     )
     parser.set_defaults(snapshot_cache=False)
+    selfmaint_group = parser.add_mutually_exclusive_group()
+    selfmaint_group.add_argument(
+        "--self-maintenance",
+        dest="self_maintenance",
+        action="store_true",
+        help="run every figure with the auxiliary self-maintenance "
+        "store enabled (covered probes answered with zero round trips)",
+    )
+    selfmaint_group.add_argument(
+        "--no-self-maintenance",
+        dest="self_maintenance",
+        action="store_false",
+        help="run without the auxiliary store (the default)",
+    )
+    parser.set_defaults(self_maintenance=False)
     batch_group = parser.add_mutually_exclusive_group()
     batch_group.add_argument(
         "--batch",
@@ -238,6 +274,7 @@ def main(argv: list[str] | None = None) -> int:
         arguments.full,
         arguments.seed,
         arguments.snapshot_cache,
+        arguments.self_maintenance,
         arguments.group_maintenance,
         arguments.journal,
         arguments.checkpoint_every,

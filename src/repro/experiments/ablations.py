@@ -423,8 +423,10 @@ def _run_cache_arm(
     key_domain: int,
     workers: int | None = None,
     fault_seed: int | None = None,
+    self_maintenance: bool = False,
 ):
-    """One (strategy, cache on/off) arm of ABL-7.
+    """One (strategy, cache on/off) arm of ABL-7 (and, with
+    ``self_maintenance``, of ABL-10).
 
     Returns ``(cost, trips, extent, processed, metrics, report)`` where
     *cost* is the virtual-clock total (makespan under the parallel
@@ -441,6 +443,7 @@ def _run_cache_arm(
         tuples_per_relation=tuples_per_relation,
         parallel_workers=workers,
         snapshot_cache=snapshot_cache,
+        self_maintenance=self_maintenance,
     )
     if fault_seed is not None:
         plan = FaultPlan.random(
@@ -565,6 +568,129 @@ def run_snapshot_cache_ablation(
     result.notes.append(
         "extents and committed (source, seqno) sets verified identical "
         "between cache-on and cache-off arms in every row"
+    )
+    result.notes.append(
+        f"hot-key stream: keys drawn from 1..{key_domain} over "
+        f"{tuples_per_relation}-tuple relations"
+    )
+    return result
+
+
+def run_self_maintenance_ablation(
+    du_counts: tuple[int, ...] = (60, 120, 240),
+    tuples_per_relation: int = 200,
+    key_domain: int = 40,
+    seed: int = 5,
+) -> FigureResult:
+    """ABL-10: auxiliary self-maintenance store vs cache-only vs bare.
+
+    The same DU-heavy hot-key stream as ABL-7, three arms per strategy:
+
+    * **off** — no local answering at all (the oracle);
+    * **cache** — the PR 4 snapshot cache alone (the arm to beat);
+    * **aux** — the self-maintenance store alone: per-relation
+      projections of the view's needed columns, seeded free from the
+      initial load and synced from committed deltas, answer every
+      covered probe with **zero** source round trips.
+
+    The aux arm must produce a view extent and a committed
+    (source, seqno) set byte-identical to the off arm — replica-served
+    answers are exact because projection commutes with the probe's
+    select/project and is linear in deltas — while self-maintaining
+    >= 80% of data-update units (zero wire trips from dispatch to
+    install) and beating the cache-only arm on total virtual-clock
+    cost.  A 4-worker parallel aux arm rides along (aux hits occupy no
+    source channel, like cache hits).
+    """
+    from ..core.strategies import OPTIMISTIC
+
+    result = FigureResult(
+        figure_id="ABL-10",
+        title="Self-maintenance: zero-trip fraction and cost vs cache",
+        x_label="data updates",
+        series_names=[
+            "pess_trips_off",
+            "pess_trips_aux",
+            "pess_selfmaint_fraction",
+            "pess_cost_speedup",
+            "pess_cost_speedup_vs_cache",
+            "opt_selfmaint_fraction",
+            "opt_cost_speedup",
+            "parallel_selfmaint_fraction",
+            "aux_hits",
+        ],
+    )
+    arms = {"pess": PESSIMISTIC, "opt": OPTIMISTIC}
+    for du_count in du_counts:
+        row: dict[str, float] = {}
+        for label, strategy in arms.items():
+            off = _run_cache_arm(
+                strategy, False, du_count, tuples_per_relation, seed,
+                key_domain,
+            )
+            cache = _run_cache_arm(
+                strategy, True, du_count, tuples_per_relation, seed,
+                key_domain,
+            )
+            aux = _run_cache_arm(
+                strategy, False, du_count, tuples_per_relation, seed,
+                key_domain, self_maintenance=True,
+            )
+            for name, arm in (("off", off), ("cache", cache), ("aux", aux)):
+                if not arm[5].consistent:
+                    result.consistent = False
+                    result.notes.append(
+                        f"{label} arm={name} du={du_count}: "
+                        "failed convergence check"
+                    )
+            for name, arm in (("cache", cache), ("aux", aux)):
+                if off[2] != arm[2] or off[3] != arm[3]:
+                    result.consistent = False
+                    result.notes.append(
+                        f"{label} du={du_count}: {name} arm diverged "
+                        "from the off oracle"
+                    )
+            metrics = aux[4]
+            fraction = (
+                metrics.self_maintained_units / metrics.data_unit_rounds
+                if metrics.data_unit_rounds
+                else 0.0
+            )
+            row[f"{label}_selfmaint_fraction"] = fraction
+            row[f"{label}_cost_speedup"] = (
+                off[0] / aux[0] if aux[0] else 0.0
+            )
+            if label == "pess":
+                row["pess_trips_off"] = float(off[1])
+                row["pess_trips_aux"] = float(aux[1])
+                row["pess_cost_speedup_vs_cache"] = (
+                    cache[0] / aux[0] if aux[0] else 0.0
+                )
+                row["aux_hits"] = float(metrics.aux_hits)
+        par_off = _run_cache_arm(
+            PESSIMISTIC, False, du_count, tuples_per_relation, seed,
+            key_domain, workers=4,
+        )
+        par_aux = _run_cache_arm(
+            PESSIMISTIC, False, du_count, tuples_per_relation, seed,
+            key_domain, workers=4, self_maintenance=True,
+        )
+        if par_off[2] != par_aux[2] or par_off[3] != par_aux[3]:
+            result.consistent = False
+            result.notes.append(
+                f"parallel du={du_count}: aux arm diverged from oracle"
+            )
+        par_metrics = par_aux[4]
+        row["parallel_selfmaint_fraction"] = (
+            par_metrics.self_maintained_units / par_metrics.data_unit_rounds
+            if par_metrics.data_unit_rounds
+            else 0.0
+        )
+        result.add(du_count, **row)
+    result.notes.append(
+        "extents and committed (source, seqno) sets verified identical "
+        "between the aux, cache-only and off arms in every row "
+        "(serial both strategies, plus a 4-worker aux arm)"
     )
     result.notes.append(
         f"hot-key stream: keys drawn from 1..{key_domain} over "

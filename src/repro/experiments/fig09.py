@@ -47,6 +47,7 @@ def _run_one(
     spacing: float,
     tuples_per_relation: int,
     snapshot_cache: bool = False,
+    self_maintenance: bool = False,
     group_maintenance: bool = False,
     recovery: dict | None = None,
 ) -> tuple[float, float, bool]:
@@ -54,6 +55,7 @@ def _run_one(
         strategy,
         tuples_per_relation=tuples_per_relation,
         snapshot_cache=snapshot_cache,
+        self_maintenance=self_maintenance,
         batch_policy=BatchPolicy() if group_maintenance else None,
         **(recovery or {}),
     )
@@ -84,6 +86,7 @@ def run_figure(
     tuples_per_relation: int = 2000,
     conflict_spacing: float = 0.0,
     snapshot_cache: bool = False,
+    self_maintenance: bool = False,
     group_maintenance: bool = False,
     journal: bool = False,
     checkpoint_every: int = 8,
@@ -108,6 +111,7 @@ def run_figure(
             NO_CONCURRENCY_SPACING,
             tuples_per_relation,
             snapshot_cache,
+            self_maintenance,
             group_maintenance,
             recovery,
         )
@@ -117,6 +121,7 @@ def run_figure(
             conflict_spacing,
             tuples_per_relation,
             snapshot_cache,
+            self_maintenance,
             group_maintenance,
             recovery,
         )
@@ -126,6 +131,7 @@ def run_figure(
             conflict_spacing,
             tuples_per_relation,
             snapshot_cache,
+            self_maintenance,
             group_maintenance,
             recovery,
         )

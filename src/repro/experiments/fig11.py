@@ -31,6 +31,7 @@ def run_figure(
     du_interval: float = 0.5,
     seed: int = 7,
     snapshot_cache: bool = False,
+    self_maintenance: bool = False,
     group_maintenance: bool = False,
     journal: bool = False,
     checkpoint_every: int = 8,
@@ -57,6 +58,7 @@ def run_figure(
                 strategy,
                 tuples_per_relation=tuples_per_relation,
                 snapshot_cache=snapshot_cache,
+                self_maintenance=self_maintenance,
                 batch_policy=BatchPolicy() if group_maintenance else None,
                 **recovery_knobs(journal, checkpoint_every, crash_seed),
             )

@@ -118,14 +118,22 @@ class Testbed:
         """Mixed insert/delete data updates, keys drawn from the live
         key domain so most updates touch the view.
 
-        ``key_domain`` narrows inserted keys to ``1..key_domain``
-        (default: the full ``1..tuples_per_relation`` range).  A small
-        domain makes updates collide on join keys — the hot-key regime
-        where adjacent maintenance passes probe for the same keys and
-        the snapshot cache pays off.
+        ``key_domain`` narrows *every* operation's keys to
+        ``1..key_domain`` (default: the full ``1..tuples_per_relation``
+        range): inserts draw their key from the domain and deletes pick
+        among rows whose key lies in it.  A small domain makes updates
+        collide on join keys — the hot-key regime where adjacent
+        maintenance passes probe for the same keys and the snapshot
+        cache / auxiliary store pay off — without deletes silently
+        degenerating into no-ops outside the hot set.
         """
         rng = random.Random(seed)
         n = key_domain or self.tuples_per_relation
+        key_filter = (
+            None
+            if key_domain is None
+            else (lambda key, n=n: isinstance(key, int) and 1 <= key <= n)
+        )
         workload = Workload()
         for index in range(count):
             at = start + index * interval
@@ -136,7 +144,7 @@ class Testbed:
                     rng, key_factory=lambda r, n=n: r.randrange(1, n + 1)
                 )
             else:
-                intent = DeleteRandomRow(rng)
+                intent = DeleteRandomRow(rng, key_filter=key_filter)
             workload.add(at, source, intent)
         return workload
 
@@ -347,6 +355,7 @@ def build_testbed(
     backend: str = "memory",
     parallel_workers: int | None = None,
     snapshot_cache: bool = False,
+    self_maintenance: bool = False,
     batch_policy: BatchPolicy | None = None,
     journal: bool = False,
     checkpoint_every: int = 8,
@@ -371,6 +380,14 @@ def build_testbed(
     (:mod:`repro.cache`): maintenance probes repeated across units are
     answered locally, patched forward through the committed deltas in
     the version gap, instead of paying a source round trip.
+
+    ``self_maintenance`` arms the auxiliary self-maintenance store
+    (:mod:`repro.maintenance.selfmaint`): per-relation projections of
+    the view's needed columns, seeded free from the initial load and
+    kept current from committed deltas, answer covered maintenance
+    probes with **zero** source round trips.  It composes with
+    ``snapshot_cache`` (aux is consulted first; the cache backstops
+    uncovered probes).
 
     ``batch_policy`` arms adaptive group maintenance
     (:mod:`repro.maintenance.grouping`): safe runs of queued units are
@@ -409,6 +426,10 @@ def build_testbed(
     )
     view = ViewDefinition("V", SPJQuery(relations, projection, joins))
     manager = ViewManager(engine, view)
+    if self_maintenance:
+        store = manager.install_self_maintenance()
+        for source in engine.sources.values():
+            store.seed_from_source(source)
     scheduler = _make_scheduler(
         manager, strategy, parallel_workers, batch_policy
     )
@@ -468,6 +489,7 @@ def build_multiview_testbed(
     backend: str = "memory",
     parallel_workers: int | None = None,
     snapshot_cache: bool = False,
+    self_maintenance: bool = False,
     batch_policy: BatchPolicy | None = None,
     spans: tuple[tuple[int, int], ...] = ((0, 3), (2, RELATION_COUNT)),
     journal: bool = False,
@@ -492,6 +514,10 @@ def build_multiview_testbed(
         for index, (first, last) in enumerate(spans)
     ]
     manager = MultiViewManager(engine, views)
+    if self_maintenance:
+        store = manager.install_self_maintenance()
+        for source in engine.sources.values():
+            store.seed_from_source(source)
     scheduler = _make_scheduler(
         manager, strategy, parallel_workers, batch_policy
     )

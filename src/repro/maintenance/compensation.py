@@ -27,6 +27,17 @@ from ..relational.table import Table
 from ..sources.messages import DataUpdate, UpdateMessage
 
 
+class OverCompensationError(RelationalError):
+    """A corrected probe answer went negative.
+
+    Compensation subtracted an effect that was not in the answer —
+    possible only when maintenance ordering is broken.  Under Dyno's
+    corrected orders this is a real bug, so strict mode surfaces it
+    instead of clamping; baseline strategies (which deliberately skip
+    correction) keep the historical clamp-and-note behaviour.
+    """
+
+
 @dataclass
 class CompensationLog:
     """Diagnostics: what compensation did during one maintenance run."""
@@ -35,6 +46,9 @@ class CompensationLog:
     compensated_queries: int = 0
     skipped_incompatible: int = 0
     notes: list[str] = field(default_factory=list)
+    #: raise :class:`OverCompensationError` on a negative corrected
+    #: count instead of clamping (armed for Dyno-corrected strategies)
+    strict: bool = False
 
 
 def _effect_of_part(query: SPJQuery, alias: str, part: Delta) -> Table:
@@ -147,6 +161,10 @@ def compensate_answer(
             # A negative corrected count means we subtracted an effect
             # that was not actually in the answer — possible only when
             # maintenance ordering is broken (baseline strategies).
+            if log is not None and log.strict:
+                raise OverCompensationError(
+                    f"over-compensation on {row!r} (count {count})"
+                )
             if log is not None:
                 log.notes.append(
                     f"over-compensation on {row!r} (count {count})"

@@ -1,0 +1,337 @@
+"""Self-maintaining views: auxiliary data answering maintenance locally.
+
+The snapshot cache (:mod:`repro.cache.snapshot`) memoizes *answers* —
+it only helps when an identical probe recurs.  The auxiliary store kept
+here goes one step further along the self-maintenance trajectory
+(Quass et al.; arXiv 1406.7685): for every relation a registered view
+joins, the warehouse keeps a **projected replica** — the relation
+restricted to the columns the view's maintenance probes can ever
+reference (:func:`~repro.maintenance.decompose.needed_columns`, unioned
+across views).  The replica is brought forward *locally* through the
+source's committed log, so any single-relation maintenance query whose
+referenced attributes are covered is evaluated in the warehouse with
+**zero source round trips** — first-time probes included, which is what
+the cache can never do.
+
+Exactness rests on two linearity facts the executor guarantees:
+
+* projection commutes with selection/projection — evaluating a probe
+  over the replica (whose columns cover every attribute the probe
+  references) yields a bag byte-identical to evaluating it over the
+  full relation;
+* projection is linear in the delta — projecting each committed gap
+  delta onto the stored columns and sign-merging it into the replica
+  reproduces the projection of the new relation state exactly.
+
+Broken-query semantics (Theorem 1) mirror the cache rule: any schema
+change in the version gap invalidates the entry (drop/rename could have
+broken a real query shipped now; serving locally would mask in-exec
+detection).  The entry is rebuilt for free the next time a full scan of
+the relation travels on the wire — view adaptation's scans are exactly
+such queries — or re-seeded from the catalog when a view (re)registers.
+
+Interaction with the rest of the stack:
+
+* the engine consults the store *before* the snapshot cache, which
+  stays as the second line of defence for non-covered queries;
+* parallel workers serve aux hits channel-free (no admission, no slot),
+  exactly like cache hits, with the same dispatch-order install and
+  taint-restart discipline;
+* a fully self-maintainable coalesced batch pays zero trips — the
+  grouping layer needs no changes, its per-relation probes simply all
+  hit the store;
+* recovery checkpoints the replicas with their version stamps and
+  restores them under the same contiguous-watermark rule as cache
+  entries; a crash clears the volatile store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..relational.delta import Delta
+from ..relational.errors import RelationalError
+from ..relational.executor import execute
+from ..relational.predicate import TruePredicate
+from ..relational.query import SPJQuery
+from ..relational.schema import RelationSchema
+from ..relational.table import Table
+from ..sim.metrics import Metrics
+from ..sources.source import DataSource
+from .decompose import needed_columns
+
+
+@dataclass(frozen=True)
+class AuxHit:
+    """One locally answered query plus the sync work it took."""
+
+    table: Table
+    #: signed tuples folded into the replica while syncing it through
+    #: the source-log gap; the caller charges ``aux_update_per_row`` each
+    applied_rows: int
+
+
+@dataclass
+class _Replica:
+    """One per-(source, relation) projected replica."""
+
+    version: int
+    #: stored column names (a cover of every registered requirement)
+    columns: tuple[str, ...]
+    table: Table
+
+
+class SelfMaintenanceStore:
+    """Projected per-relation replicas, synced from the committed log.
+
+    Keys are ``(source name, relation name)`` — relation-versioned, not
+    query-versioned: one replica answers *every* covered probe over the
+    relation, which is what makes first-time probes free.
+    """
+
+    def __init__(self, metrics: Metrics | None = None) -> None:
+        self.metrics = metrics
+        #: (source, relation) -> union of column names any registered
+        #: view's maintenance can reference on that relation
+        self._required: dict[tuple[str, str], set[str]] = {}
+        self._replicas: dict[tuple[str, str], _Replica] = {}
+
+    def __len__(self) -> int:
+        return len(self._replicas)
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            setattr(
+                self.metrics, counter, getattr(self.metrics, counter) + amount
+            )
+
+    # ------------------------------------------------------------------
+    # registration / seeding
+    # ------------------------------------------------------------------
+
+    def register_view(self, query: SPJQuery) -> None:
+        """Record the columns ``query``'s maintenance may reference.
+
+        Safe to call repeatedly (view rewrites re-register their new
+        definition); a registration that widens an existing requirement
+        drops the now-too-narrow replica, to be re-seeded or rebuilt
+        from the next travelling full scan.
+        """
+        for ref in query.relations:
+            key = (ref.source, ref.relation)
+            columns = set(needed_columns(query, ref.alias))
+            required = self._required.setdefault(key, set())
+            required |= columns
+            replica = self._replicas.get(key)
+            if replica is not None and not required.issubset(
+                replica.columns
+            ):
+                del self._replicas[key]
+
+    def seed_from_source(self, source: DataSource) -> int:
+        """Build replicas from the source's live catalog (free, like the
+        initial view load — no maintenance query ships).  Returns how
+        many replicas were (re)built."""
+        built = 0
+        version = source.commit_version
+        for (source_name, relation), required in self._required.items():
+            if source_name != source.name or not source.has_relation(
+                relation
+            ):
+                continue
+            schema = source.schema_of(relation)
+            if not required.issubset(schema.attribute_names):
+                continue
+            columns = tuple(
+                name for name in schema.attribute_names if name in required
+            )
+            table = _project_table(
+                source.catalog.table(relation), schema, columns, relation
+            )
+            self._replicas[(source_name, relation)] = _Replica(
+                version, columns, table
+            )
+            built += 1
+        return built
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+
+    def covers(self, query: SPJQuery) -> bool:
+        """Is ``query`` answerable locally right now (modulo the gap)?"""
+        return self._lookup(query) is not None
+
+    def _lookup(self, query: SPJQuery) -> _Replica | None:
+        if len(query.relations) != 1 or query.joins:
+            return None
+        ref = query.relations[0]
+        replica = self._replicas.get((ref.source, ref.relation))
+        if replica is None:
+            return None
+        referenced = {
+            attr.name
+            for attr in query.all_attribute_refs()
+            if attr.relation == ref.alias
+        }
+        if not referenced.issubset(replica.columns):
+            return None
+        return replica
+
+    def serve(self, source: DataSource, query: SPJQuery) -> AuxHit | None:
+        """Answer ``query`` from the replica, syncing it forward first.
+
+        Returns ``None`` when coverage fails or a schema change
+        committed since the stamp (the replica is dropped — Theorem 1's
+        rule, identical to the snapshot cache).  A returned hit reflects
+        every update committed up to *now*, byte-identical to a
+        zero-latency round trip.
+        """
+        replica = self._lookup(query)
+        if replica is None:
+            self._count("aux_misses")
+            return None
+        ref = query.relations[0]
+        key = (ref.source, ref.relation)
+        gap = source.updates_since(replica.version)
+        if any(message.is_schema_change for message in gap):
+            del self._replicas[key]
+            self._count("aux_invalidations_sc")
+            self._count("aux_misses")
+            return None
+        applied = 0
+        if gap:
+            projected = Delta(replica.table.schema)
+            try:
+                for message in gap:
+                    if not message.is_data_update:
+                        continue
+                    payload = message.payload
+                    if payload.relation != ref.relation:
+                        continue
+                    _project_delta(
+                        payload.delta, replica.columns, projected
+                    )
+                applied = sum(
+                    abs(count) for _row, count in projected.items()
+                )
+                if applied:
+                    replica.table.apply_delta(projected)
+            except RelationalError:
+                # Schema drift the gap scan did not explain: drop the
+                # replica, go remote (the cache or the wire answers).
+                del self._replicas[key]
+                self._count("aux_misses")
+                return None
+            replica.version = source.commit_version
+        answer = execute(query, {ref.alias: replica.table})
+        self._count("aux_hits")
+        self._count("saved_round_trips")
+        self._count("aux_applied_rows", applied)
+        return AuxHit(answer, applied)
+
+    # ------------------------------------------------------------------
+    # observation (free rebuild from travelling full scans)
+    # ------------------------------------------------------------------
+
+    def observe(
+        self, source: DataSource, query: SPJQuery, answer: Table
+    ) -> bool:
+        """Re-seed a replica from a full scan that travelled anyway.
+
+        View adaptation ships full-relation scans (never cacheable);
+        their answers are exactly a projected replica at the evaluation
+        instant, so an invalidated entry rebuilds itself for free on the
+        first post-SC adaptation round.  Only selection-free
+        single-relation scans covering the registered requirement are
+        observed — a filtered or partial answer must never masquerade as
+        the whole relation.
+        """
+        if (
+            len(query.relations) != 1
+            or query.joins
+            or not isinstance(query.selection, TruePredicate)
+        ):
+            return False
+        ref = query.relations[0]
+        key = (ref.source, ref.relation)
+        required = self._required.get(key)
+        if required is None:
+            return False
+        columns = tuple(answer.schema.attribute_names)
+        if not required.issubset(columns):
+            return False
+        self._replicas[key] = _Replica(
+            source.commit_version, columns, answer.copy()
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # maintenance / checkpoint plumbing
+    # ------------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every replica (the store is volatile across crashes);
+        registrations survive — they describe the views, not the data."""
+        self._replicas.clear()
+
+    def export_entries(self) -> list[tuple[str, str, int, list, Table]]:
+        """Snapshot replicas for a warehouse checkpoint:
+        ``(source, relation, version, columns, table)`` rows."""
+        return [
+            (
+                source,
+                relation,
+                replica.version,
+                list(replica.columns),
+                replica.table.copy(),
+            )
+            for (source, relation), replica in self._replicas.items()
+        ]
+
+    def restore_entries(
+        self, entries: list[tuple[str, str, int, list, Table]]
+    ) -> int:
+        """Re-seed replicas from checkpointed entries (post-recovery).
+
+        The caller filters by the committed-update watermark; entries
+        narrower than the (re-registered) requirement are skipped — they
+        would fail coverage on every serve anyway.
+        """
+        restored = 0
+        for source, relation, version, columns, table in entries:
+            required = self._required.get((source, relation), set())
+            if not required.issubset(columns):
+                continue
+            self._replicas[(source, relation)] = _Replica(
+                version, tuple(columns), table.copy()
+            )
+            restored += 1
+        return restored
+
+
+def _project_table(
+    table: Table,
+    schema: RelationSchema,
+    columns: tuple[str, ...],
+    relation: str,
+) -> Table:
+    """Project ``table`` onto ``columns`` (bag semantics preserved)."""
+    indexes = [schema.index_of(name) for name in columns]
+    projected_schema = RelationSchema(
+        relation, tuple(schema.attribute(name) for name in columns)
+    )
+    projected = Table(projected_schema)
+    for row, count in table.items():
+        projected.insert(tuple(row[i] for i in indexes), count)
+    return projected
+
+
+def _project_delta(
+    delta: Delta, columns: tuple[str, ...], into: Delta
+) -> None:
+    """Sign-merge ``delta`` projected onto ``columns`` into ``into``."""
+    schema = delta.schema
+    indexes = [schema.index_of(name) for name in columns]
+    for row, count in delta.items():
+        into.add(tuple(row[i] for i in indexes), count)

@@ -73,6 +73,8 @@ def simulate_crash(engine) -> int:
         source.clear_subscribers()
     if engine.snapshot_cache is not None:
         engine.snapshot_cache.clear()
+    if engine.selfmaint is not None:
+        engine.selfmaint.clear()
     return purged
 
 
@@ -105,6 +107,10 @@ class RecoveryReport:
     cache_restored: int
     cache_dropped: int
     watermark: dict[str, int] = field(default_factory=dict)
+    #: auxiliary self-maintenance replicas restored / dropped (stamped
+    #: past the committed watermark) at recovery
+    aux_restored: int = 0
+    aux_dropped: int = 0
 
     def describe(self) -> str:
         return (
@@ -232,6 +238,15 @@ class RecoveryHarness:
                 source, key, version, table = entry
                 cache.append([source, key, version, table_to_json(table)])
                 tuples += len(table)
+        aux = []
+        if self.engine.selfmaint is not None:
+            for entry in self.engine.selfmaint.export_entries():
+                source, relation, version, columns, table = entry
+                aux.append(
+                    [source, relation, version, list(columns),
+                     table_to_json(table)]
+                )
+                tuples += len(table)
         installed = (
             self.base_installed_units + self.journal.installed_units_since
         )
@@ -253,6 +268,7 @@ class RecoveryHarness:
                 for unit in self.manager.umq.units
             ],
             "cache": cache,
+            "aux": aux,
         }
         return state, tuples
 
@@ -417,6 +433,33 @@ def recover(harness: RecoveryHarness) -> RecoveredWarehouse:
                 cache_dropped += 1
         engine.snapshot_cache.restore_entries(keep)
 
+    # Auxiliary self-maintenance replicas: same watermark rule as the
+    # cache.  Requirements are re-registered from the *recovered* view
+    # definitions first, so restore_entries drops any replica whose
+    # columns no longer cover the (possibly rewritten) view's needs.
+    aux_restored = aux_dropped = 0
+    if engine.selfmaint is not None:
+        for view_manager in managers:
+            engine.selfmaint.register_view(view_manager.view.query)
+        keep = []
+        for source, relation, version, columns, table_json in state.get(
+            "aux", []
+        ):
+            if version <= watermark.get(source, 0):
+                keep.append(
+                    (
+                        source,
+                        relation,
+                        version,
+                        tuple(columns),
+                        table_from_json(table_json),
+                    )
+                )
+            else:
+                aux_dropped += 1
+        aux_restored = engine.selfmaint.restore_entries(keep)
+        aux_dropped += len(keep) - aux_restored
+
     strategy = harness.strategy or PESSIMISTIC
     if harness.parallel_workers:
         scheduler = ParallelScheduler(
@@ -467,5 +510,7 @@ def recover(harness: RecoveryHarness) -> RecoveredWarehouse:
         cache_restored=cache_restored,
         cache_dropped=cache_dropped,
         watermark=watermark,
+        aux_restored=aux_restored,
+        aux_dropped=aux_dropped,
     )
     return RecoveredWarehouse(manager, scheduler, successor, report)

@@ -52,6 +52,12 @@ class CostModel:
     #: applying one gap-delta tuple while patching a stale cached
     #: answer forward to the current source version
     patch_per_row: float = 0.00005
+    #: serving a maintenance query from the self-maintenance auxiliary
+    #: store (local replica lookup + evaluation; no network) — cheaper
+    #: than ``cache_hit`` because no per-query memo is consulted
+    aux_hit: float = 0.0004
+    #: folding one committed gap-delta tuple into an auxiliary replica
+    aux_update_per_row: float = 0.00004
     #: pre-exec detection: checking the schema-change flag
     detection_flag_check: float = 0.00001
     #: building one dependency-graph node
@@ -121,6 +127,11 @@ class CostModel:
         work — strictly cheaper than ``query_base`` by construction."""
         return self.cache_hit + patched_rows * self.patch_per_row
 
+    def aux_serve(self, applied_rows: int) -> float:
+        """One auxiliary-store answer: replica evaluation plus the gap
+        deltas folded in — strictly cheaper than ``query_base``."""
+        return self.aux_hit + applied_rows * self.aux_update_per_row
+
     def detection(self, nodes: int, edges: int) -> float:
         return (
             nodes * self.detection_per_node + edges * self.detection_per_edge
@@ -188,6 +199,8 @@ class CostModel:
             va_per_tuple=2.0 / n,
             cache_hit=0.002,
             patch_per_row=0.1 / n,
+            aux_hit=0.0015,
+            aux_update_per_row=0.08 / n,
         )
 
     @classmethod
@@ -206,6 +219,8 @@ class CostModel:
             retry_overhead=0.0,
             cache_hit=0.0,
             patch_per_row=0.0,
+            aux_hit=0.0,
+            aux_update_per_row=0.0,
             detection_flag_check=0.0,
             detection_per_node=0.0,
             detection_per_edge=0.0,

@@ -89,6 +89,10 @@ class SimEngine:
         #: query pays a real round trip (the default — callers opt in
         #: via :meth:`install_snapshot_cache`)
         self.snapshot_cache: "SnapshotCache | None" = None
+        #: optional self-maintenance auxiliary store; consulted *before*
+        #: the snapshot cache (callers opt in via
+        #: :meth:`install_self_maintenance`)
+        self.selfmaint: "SelfMaintenanceStore | None" = None
         if injector is not None:
             self.install_faults(injector, retry_policy)
 
@@ -141,6 +145,20 @@ class SimEngine:
         if self.snapshot_cache.metrics is None:
             self.snapshot_cache.metrics = self.metrics
         return self.snapshot_cache
+
+    def install_self_maintenance(
+        self, store: "SelfMaintenanceStore | None" = None
+    ) -> "SelfMaintenanceStore":
+        """Arm self-maintaining views: per-relation projected replicas
+        (:mod:`repro.maintenance.selfmaint`) answer covered maintenance
+        queries with zero round trips, ahead of the snapshot cache.
+        Serial and parallel query paths both consult the store."""
+        from ..maintenance.selfmaint import SelfMaintenanceStore
+
+        self.selfmaint = store or SelfMaintenanceStore(metrics=self.metrics)
+        if self.selfmaint.metrics is None:
+            self.selfmaint.metrics = self.metrics
+        return self.selfmaint
 
     def source(self, name: str) -> DataSource:
         return self.sources[name]
@@ -278,7 +296,9 @@ class SimEngine:
         """
         from ..sources.errors import TransientSourceError
 
-        hit = self.cached_answer(effect)
+        hit = self.aux_answer(effect)
+        if hit is None:
+            hit = self.cached_answer(effect)
         if hit is not None:
             return hit
         state = RetryState(self, effect)
@@ -329,6 +349,34 @@ class SimEngine:
         self.advance_by(serve_cost)
         return QueryAnswer(hit.table, answered_at)
 
+    def aux_answer(self, effect: SourceQuery) -> QueryAnswer | None:
+        """Serve a query from the self-maintenance aux store, if armed.
+
+        Tried *before* the snapshot cache: a covered probe is answered
+        from the synced replica even on its first occurrence.  The same
+        answered-at pinning as :meth:`cached_answer` applies — the
+        replica is synced through every commit ``<= now``, so the
+        answer equals a zero-latency round trip's.
+        """
+        if self.selfmaint is None or not effect.cacheable:
+            return None
+        hit = self.selfmaint.serve(
+            self.sources[effect.source_name], effect.query
+        )
+        if hit is None:
+            return None
+        answered_at = self.clock.now
+        self.tracer.record(
+            answered_at,
+            trace_kinds.QUERY,
+            f"{effect.source_name} -> {len(hit.table)} tuples "
+            f"(aux{', synced' if hit.applied_rows else ''})",
+        )
+        serve_cost = self.cost_model.aux_serve(hit.applied_rows)
+        self.metrics.charge(effect.kind, serve_cost)
+        self.advance_by(serve_cost)
+        return QueryAnswer(hit.table, answered_at)
+
     def query_request_cost(self, effect: SourceQuery) -> float:
         """Virtual cost of shipping+executing the request at the source
         (everything before the answer exists)."""
@@ -349,6 +397,11 @@ class SimEngine:
         raise BrokenQueryError / TransientSourceError."""
         source = self.sources[effect.source_name]
         result = source.execute(effect.query)
+        if self.selfmaint is not None:
+            # Travelling full scans (view adaptation's reads — never
+            # cacheable, so they always reach this point) re-seed any
+            # aux replica a schema change invalidated, for free.
+            self.selfmaint.observe(source, effect.query, result)
         if self.snapshot_cache is not None and effect.cacheable:
             # Stamp with the version at the evaluation instant: the
             # answer reflects exactly the commits in log[:version].

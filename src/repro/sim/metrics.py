@@ -88,12 +88,26 @@ class Metrics:
     cache_misses: int = 0
     #: cache hits that required forward delta patching (stale stamp)
     patched_answers: int = 0
-    #: round trips the snapshot cache avoided (== cache_hits; kept as
-    #: its own counter so summaries read directly)
+    #: round trips avoided locally (cache hits plus auxiliary-store
+    #: hits; kept as its own counter so summaries read directly)
     saved_round_trips: int = 0
     #: cache entries dropped because a schema change committed in the
     #: version gap (broken-query semantics preserved, Thm. 1)
     cache_invalidations_sc: int = 0
+    #: maintenance queries answered by the self-maintenance aux store
+    aux_hits: int = 0
+    #: aux-eligible queries the store could not cover
+    aux_misses: int = 0
+    #: aux replicas dropped by a schema change in the version gap
+    #: (the same Theorem 1 rule the snapshot cache enforces)
+    aux_invalidations_sc: int = 0
+    #: signed delta tuples folded into aux replicas while syncing
+    aux_applied_rows: int = 0
+    #: data-update maintenance units whose compute phase committed
+    #: (the denominator for the self-maintained fraction)
+    data_unit_rounds: int = 0
+    #: data-update units maintained with zero source round trips
+    self_maintained_units: int = 0
     #: write-ahead journal entries appended (queue mutations + installs)
     journal_entries: int = 0
     #: bytes appended to the maintenance journal
@@ -169,6 +183,12 @@ class Metrics:
             "patched_answers": self.patched_answers,
             "saved_round_trips": self.saved_round_trips,
             "cache_invalidations_sc": self.cache_invalidations_sc,
+            "aux_hits": self.aux_hits,
+            "aux_misses": self.aux_misses,
+            "aux_invalidations_sc": self.aux_invalidations_sc,
+            "aux_applied_rows": self.aux_applied_rows,
+            "data_unit_rounds": self.data_unit_rounds,
+            "self_maintained_units": self.self_maintained_units,
             "journal_entries": self.journal_entries,
             "journal_bytes": self.journal_bytes,
             "checkpoints_taken": self.checkpoints_taken,

@@ -59,6 +59,12 @@ class WorkerState:
     #: maintenance queries this worker had answered by the snapshot
     #: cache (zero channel occupancy, no trip)
     cache_serves: int = 0
+    #: maintenance queries answered by the self-maintenance aux store
+    aux_serves: int = 0
+    #: wire round trips paid for the *current* unit (retries and batch
+    #: participations included) — zero at install means the unit was
+    #: fully self-maintained
+    wire_trips: int = 0
     #: assignment epoch: bumped on every assign/release so that events
     #: scheduled for a torn-down (or since-reassigned) worker can detect
     #: they are stale and do nothing
@@ -88,6 +94,7 @@ class WorkerState:
         self.dispatched_at = at
         self.generation += 1
         self.answers_seen = 0
+        self.wire_trips = 0
         self.outcome = None
         self.outcome_ready = False
         self.pending = []
@@ -112,6 +119,7 @@ class WorkerState:
         self.process = None
         self.generation += 1
         self.answers_seen = 0
+        self.wire_trips = 0
         self.outcome = None
         self.outcome_ready = False
         self.pending = []

@@ -100,10 +100,17 @@ class InsertRandomRow(UpdateIntent):
 
 @dataclass
 class DeleteRandomRow(UpdateIntent):
-    """Delete one random existing row from a (random) relation."""
+    """Delete one random existing row from a (random) relation.
+
+    ``key_filter`` restricts the choice to rows whose first attribute
+    (the join key) passes the predicate, so testbeds that narrow
+    *inserted* keys to a hot domain can draw deletes from the same
+    domain instead of the full key range.
+    """
 
     rng: random.Random
     relation: str | None = None
+    key_filter: Callable[[Value], bool] | None = None
 
     def materialize(self, source: DataSource) -> SourceUpdate | None:
         names = [
@@ -117,6 +124,17 @@ class DeleteRandomRow(UpdateIntent):
         if relation is None or relation not in names:
             relation = self.rng.choice(names)
         table = source.catalog.table(relation)
+        if self.key_filter is not None:
+            candidates = [
+                row
+                for row, _count in table.items()
+                if row and self.key_filter(row[0])
+            ]
+            if not candidates:
+                return None
+            return DataUpdate.delete(
+                table.schema, [self.rng.choice(candidates)]
+            )
         # Pick a deterministic "random" row without materializing the bag.
         target_index = self.rng.randrange(table.distinct_count())
         for index, (row, _count) in enumerate(table.items()):

@@ -152,6 +152,22 @@ class ViewManager:
         see :meth:`~repro.sim.engine.SimEngine.install_snapshot_cache`)."""
         return self.engine.install_snapshot_cache()
 
+    @property
+    def selfmaint(self):
+        """The engine's auxiliary self-maintenance store (``None`` when
+        not armed).  Like the snapshot cache, it lives on the engine so
+        every view manager sharing the engine shares one set of
+        replicas."""
+        return self.engine.selfmaint
+
+    def install_self_maintenance(self):
+        """Arm the auxiliary store and register this view's coverage
+        requirements (delegates to the engine; see
+        :meth:`~repro.sim.engine.SimEngine.install_self_maintenance`)."""
+        store = self.engine.install_self_maintenance()
+        store.register_view(self.view.query)
+        return store
+
     def _schema_lookup(
         self, source: str, relation: str
     ) -> RelationSchema | None:
@@ -334,6 +350,11 @@ class ViewManager:
             self.view = outcome.definition
             self.mv.replace_extent(outcome.extent, outcome.definition.version)
             self.metrics.view_refreshes += 1
+            if self.engine.selfmaint is not None:
+                # The rewritten definition may need different columns
+                # (or relations under new names); re-register so future
+                # probes are judged against the *current* requirements.
+                self.engine.selfmaint.register_view(outcome.definition.query)
         elif outcome.delta is not None and not outcome.delta.is_empty():
             self.mv.apply(outcome.delta)
             self.metrics.view_refreshes += 1
@@ -424,6 +445,13 @@ class ViewManager:
                 return outcome
             return MaintenanceOutcome(applied_changes=list(combined))
 
+        if self.engine.selfmaint is not None:
+            # Register the candidate's requirements *before* adaptation:
+            # its full-relation scans travel (never cacheable) and their
+            # answers re-seed any replica the schema change invalidated.
+            # Speculative registration is harmless — a rename keys a new
+            # replica slot, a widening merely drops a too-narrow replica.
+            self.engine.selfmaint.register_view(candidate.query)
         extent = yield from adapt_view(
             candidate,
             unit,

@@ -102,6 +102,18 @@ class MultiViewManager:
     def install_snapshot_cache(self):
         return self.engine.install_snapshot_cache()
 
+    @property
+    def selfmaint(self):
+        """The shared auxiliary store: replicas cover the union of all
+        views' requirements, so one store serves every sibling view."""
+        return self.engine.selfmaint
+
+    def install_self_maintenance(self):
+        store = self.engine.install_self_maintenance()
+        for manager in self.managers:
+            store.register_view(manager.view.query)
+        return store
+
     def manager_for(self, view_name: str) -> ViewManager:
         for manager in self.managers:
             if manager.view.name == view_name:

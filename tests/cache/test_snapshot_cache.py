@@ -160,6 +160,21 @@ class TestPolicy:
         assert cache.serve(source, queries[0]) is None  # evicted
         assert cache.serve(source, queries[2]) is not None
 
+    def test_hot_key_survives_churn_of_cold_keys(self):
+        """LRU regression: an exact hit must refresh recency.  A hot
+        key served on every round (with no gap to patch) used to stay
+        at its insertion slot and get evicted FIFO-style once enough
+        cold keys churned past ``max_entries``."""
+        source, cache = make_source(), SnapshotCache(max_entries=2)
+        hot = probe(frozenset({1}))
+        cache.store(source, hot, evaluate(source, hot))
+        for cold_key in (2, 3, 1, 2, 3, 2, 3):
+            # Exact hit (same version, empty gap) before each insert.
+            assert cache.serve(source, hot) is not None
+            cold = probe(frozenset({cold_key, 99}))
+            cache.store(source, cold, evaluate(source, cold))
+        assert cache.serve(source, hot) is not None
+
     def test_invalidate_source_is_scoped(self):
         source, cache = make_source(), SnapshotCache()
         other = DataSource("t")

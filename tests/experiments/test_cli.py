@@ -34,6 +34,7 @@ class TestExecution:
             full,
             seed=None,
             snapshot_cache=False,
+            self_maintenance=False,
             group_maintenance=False,
             journal=False,
             checkpoint_every=8,
@@ -58,7 +59,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
                 "fig09": lambda: seen.append(full) or FakeResult()
             },
         )
@@ -77,7 +78,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
                 "fig09": lambda: seen.append(seed) or FakeResult()
             },
         )
@@ -97,7 +98,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
                 "fig09": lambda: seen.append(snapshot_cache) or FakeResult()
             },
         )
@@ -109,6 +110,34 @@ class TestExecution:
     def test_cache_flags_mutually_exclusive(self):
         with pytest.raises(SystemExit):
             cli.main(["fig09", "--cache", "--no-cache"])
+
+    def test_self_maintenance_flag_threaded_through(self, monkeypatch):
+        seen = []
+
+        class FakeResult:
+            consistent = True
+
+            def table(self):
+                return ""
+
+        monkeypatch.setattr(
+            cli,
+            "_runners",
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
+                "fig09": lambda: seen.append(self_maintenance)
+                or FakeResult()
+            },
+        )
+        cli.main(["fig09", "--self-maintenance"])
+        cli.main(["fig09", "--no-self-maintenance"])
+        cli.main(["fig09"])
+        assert seen == [True, False, False]
+
+    def test_self_maintenance_flags_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            cli.main(
+                ["fig09", "--self-maintenance", "--no-self-maintenance"]
+            )
 
     def test_batch_flag_threaded_through(self, monkeypatch):
         seen = []
@@ -122,7 +151,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
                 "fig09": lambda: seen.append(group_maintenance)
                 or FakeResult()
             },
@@ -148,7 +177,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
                 "fig09": lambda: seen.append(
                     (journal, checkpoint_every, crash_seed)
                 )
@@ -176,7 +205,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
                 "fig09": lambda: seen.append(
                     (snapshot_cache, group_maintenance)
                 )
@@ -198,7 +227,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
                 name: (lambda n=name: ran.append(n) or FakeResult())
                 for name in ("fig09", "fig10")
             },
@@ -214,6 +243,6 @@ class TestExecution:
                 return ""
 
         monkeypatch.setattr(
-            cli, "_runners", lambda full, seed=None, snapshot_cache=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {"fig09": BadResult}
+            cli, "_runners", lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {"fig09": BadResult}
         )
         assert cli.main(["fig09"]) == 1

@@ -130,6 +130,50 @@ class TestCompensateAnswer:
         assert len(corrected) == 0
         assert any("over-compensation" in note for note in log.notes)
 
+    def test_strict_log_raises_on_over_compensation(self):
+        """Dyno-corrected runs arm strict mode: an over-compensation
+        there means maintenance itself is wrong, so it must surface as
+        an error instead of being clamped into silence."""
+        import pytest
+
+        from repro.maintenance.compensation import OverCompensationError
+
+        answer = Table(R)
+        leaked = [message(1, 0.5, DataUpdate.insert(R, [("1", "ghost")]))]
+        log = CompensationLog(strict=True)
+        with pytest.raises(OverCompensationError):
+            compensate_answer(answer, probe(), "R", leaked, log)
+
+    def test_baseline_strategies_still_clamp(self):
+        """NAIVE/BLIND_MERGE schedulers leave the log non-strict: the
+        broken-order anomalies they tolerate legitimately produce
+        negative counts, which must clamp (and be noted), not raise."""
+        from repro.core.scheduler import DynoScheduler
+        from repro.core.strategies import (
+            BLIND_MERGE,
+            NAIVE,
+            OPTIMISTIC,
+            PESSIMISTIC,
+        )
+        from repro.experiments.testbed import build_testbed
+
+        for strategy, strict in (
+            (NAIVE, False),
+            (BLIND_MERGE, False),
+            (PESSIMISTIC, True),
+            (OPTIMISTIC, True),
+        ):
+            testbed = build_testbed(strategy, tuples_per_relation=10)
+            log = testbed.manager.compensation_log
+            assert log.strict is strict, strategy.name
+        # And a non-strict log clamps exactly as before.
+        answer = Table(R)
+        leaked = [message(1, 0.5, DataUpdate.insert(R, [("1", "ghost")]))]
+        log = CompensationLog()
+        corrected = compensate_answer(answer, probe(), "R", leaked, log)
+        assert len(corrected) == 0
+        assert any("over-compensation" in note for note in log.notes)
+
     def test_incompatible_delta_skipped_and_logged(self):
         answer = Table(R, [("1", "a")])
         narrow = RelationSchema.of("R", ["k"])  # missing attribute v

@@ -105,6 +105,56 @@ class TestDeleteIntent:
         empty.create_relation(R)
         assert DeleteRandomRow(random.Random(1)).materialize(empty) is None
 
+    def test_key_filter_restricts_victims(self, source):
+        intent = DeleteRandomRow(
+            random.Random(3), key_filter=lambda key: key == 2
+        )
+        for _ in range(5):
+            update = intent.materialize(source)
+            row = next(iter(update.delta.rows()))
+            assert row[0] == 2
+
+    def test_key_filter_with_no_candidates_returns_none(self, source):
+        intent = DeleteRandomRow(
+            random.Random(3), key_filter=lambda key: key == 99
+        )
+        assert intent.materialize(source) is None
+
+
+class TestHotKeyDomainDeletes:
+    def test_domain_deletes_are_not_degenerate(self):
+        """Regression: under ``key_domain`` the delete stream must pick
+        victims *inside* the domain.  Deletes used to draw uniformly
+        from the full relation, so on a large relation with a narrow
+        hot domain nearly every delete hit a cold key — the hot-key
+        workload silently lost its delete effects."""
+        from repro.core.strategies import PESSIMISTIC
+        from repro.experiments.testbed import build_testbed
+
+        testbed = build_testbed(PESSIMISTIC, tuples_per_relation=200)
+        workload = testbed.random_du_workload(
+            60, start=0.0, interval=0.01, seed=5,
+            insert_fraction=0.5, key_domain=8,
+        )
+        deletes = [
+            item for item in workload.items
+            if isinstance(item.intent, DeleteRandomRow)
+        ]
+        assert deletes, "workload drew no deletes at all"
+        hot = 0
+        for item in deletes:
+            update = item.intent.materialize(
+                testbed.engine.sources[item.source_name]
+            )
+            if update is None:
+                continue
+            hot += 1
+            for row in update.delta.rows():
+                assert 1 <= row[0] <= 8
+        # Most deletes actually fire inside the hot domain (seeded rows
+        # cover every key, so candidates always exist at the start).
+        assert hot >= len(deletes) // 2
+
 
 class TestSchemaChangeIntents:
     def test_drop_random_attribute_protects_key(self, source):
