@@ -31,9 +31,20 @@ from .core import (
     DependencyKind,
     DynoScheduler,
     ParallelScheduler,
+    Shard,
+    ShardRouter,
+    ShardedWarehouse,
     Strategy,
+    assign_views,
     correct,
     detect,
+)
+from .frontend import (
+    READ_COMMITTED_VERSION,
+    READ_LATEST,
+    ReadFrontEnd,
+    ReadReport,
+    ReadWorkload,
 )
 from .relational import (
     AttrRef,

@@ -19,6 +19,12 @@ from .incremental import (
 )
 from .parallel import ParallelScheduler
 from .scheduler import DynoScheduler, SchedulerStats
+from .sharding import (
+    Shard,
+    ShardedWarehouse,
+    ShardRouter,
+    assign_views,
+)
 from .strategies import (
     BLIND_MERGE,
     NAIVE,
@@ -46,7 +52,11 @@ __all__ = [
     "OPTIMISTIC",
     "PESSIMISTIC",
     "SchedulerStats",
+    "Shard",
+    "ShardRouter",
+    "ShardedWarehouse",
     "Strategy",
+    "assign_views",
     "classify",
     "correct",
     "detect",

@@ -842,6 +842,13 @@ class ParallelScheduler(DynoScheduler):
         while self.stats.iterations < self.max_iterations:
             if not self.step():
                 break
+        return self.finish()
+
+    def finish(self) -> SchedulerStats:
+        """Post-quiescence epilogue (see
+        :meth:`~repro.core.scheduler.DynoScheduler.finish`): stamps the
+        makespan and peak parallelism exactly as :meth:`run` would, so
+        coordinators driving :meth:`step` directly report identically."""
         metrics = self.engine.metrics
         metrics.makespan = self.engine.clock.now
         metrics.peak_parallelism = self.pool.peak_parallelism

@@ -552,10 +552,15 @@ class DynoScheduler:
     def _wait_for_recovery(self) -> None:
         """All queued units are parked: sleep until the earliest probe
         time or the next autonomous event, whichever comes first."""
-        next_probe = min(self._quarantined.values())
+        # The parallel executor commits work at pool completion times,
+        # which can carry the clock past the earliest probe (or a
+        # pending autonomous event) before every worker drains — never
+        # ask the engine to move the clock backwards.
+        now = self.engine.clock.now
+        next_probe = max(min(self._quarantined.values()), now)
         next_event = self.engine.next_event_time()
         if next_event is not None and next_event < next_probe:
-            self.engine.advance_to_next_event()
+            self.engine.advance_to(max(next_event, now))
         else:
             self.engine.advance_to(next_probe)
         self._lift_due_quarantines()
@@ -708,6 +713,15 @@ class DynoScheduler:
         while self.stats.iterations < self.max_iterations:
             if not self.step():
                 break  # quiescent
+        return self.finish()
+
+    def finish(self) -> SchedulerStats:
+        """Post-quiescence epilogue.
+
+        Callers that drive the scheduler via :meth:`step` themselves —
+        the :class:`~repro.core.sharding.ShardedWarehouse` coordinator
+        interleaves many schedulers — must call this once at the end to
+        get the same bookkeeping :meth:`run` performs."""
         self._sync_fault_stats()
         return self.stats
 

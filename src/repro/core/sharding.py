@@ -1,0 +1,392 @@
+"""Sharded multi-scheduler warehouse (scale-out maintenance plane).
+
+Every prior optimisation still funnels the whole committed update
+stream through ONE Dyno scheduler owning every view; aggregate
+throughput is capped by a single UMQ and detection substrate no matter
+how many workers or caches ride on it.  This module partitions the
+views — each with its own UMQ, incremental dependency substrate,
+snapshot cache, self-maintenance store and journal — across N scheduler
+*shards* and coordinates them:
+
+* :func:`assign_views` — deterministic longest-processing-time
+  placement of views onto shards (weight = number of referenced
+  relations), so a heavy 6-way join does not land next to three light
+  subviews while another shard idles.
+
+* :class:`ShardRouter` — footprint-based delivery: a shard receives an
+  update message only when some registered view of that shard
+  references a touched ``(source, relation)``.  Footprints follow
+  renames monotonically — routing ``RenameRelation(old, new)`` to a
+  shard adds ``new`` to its footprint, so later updates arriving under
+  the new name keep flowing before the view rewrite installs.  Messages
+  matching no footprint of a shard are dropped *for that shard only*
+  (the source commit itself is untouched, so maintenance queries still
+  observe full source state and SWEEP compensation stays exact).
+
+* :class:`ShardedWarehouse` — interleaved min-virtual-clock stepping of
+  all shard schedulers, with SC-bearing units acting as a cross-shard
+  barrier: a shard whose head unit carries a schema change defers while
+  any peer still holds messages committed before the SC, so the global
+  interleaving respects the broken-query semantics of Theorem 1 (a
+  query spanning shards never observes a schema change applied on one
+  shard while a peer still maintains pre-SC updates).  The barrier is a
+  scheduling *preference*, not a correctness crutch: shard worlds are
+  independent, so every interleaving converges to the same extents; an
+  earliest-SC release rule breaks any circular wait.
+
+Per-shard legal orders are exactly the single-scheduler legal orders of
+Theorem 2 restricted to the shard's footprint, which is why the final
+extents are byte-identical to a 1-shard oracle (asserted by the
+equivalence property tests and the ABL-11 ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..sim.engine import SimEngine
+from ..sim.metrics import Metrics
+from ..sources.messages import RenameRelation, UpdateMessage
+from ..views.definition import ViewDefinition
+from .scheduler import DynoScheduler
+
+
+def assign_views(
+    views: list[ViewDefinition], shards: int
+) -> list[list[ViewDefinition]]:
+    """Partition views over at most ``shards`` schedulers.
+
+    Deterministic LPT: views sorted by descending weight (number of
+    referenced relations, ties by name) go to the least-loaded shard.
+    The effective shard count is ``min(shards, len(views))`` — a view is
+    the unit of placement and never splits — and empty shards are not
+    returned.
+    """
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    if not views:
+        raise ValueError("cannot shard zero views")
+    effective = min(shards, len(views))
+    buckets: list[list[ViewDefinition]] = [[] for _ in range(effective)]
+    loads = [0] * effective
+    ordered = sorted(
+        views, key=lambda view: (-len(view.query.relations), view.name)
+    )
+    for view in ordered:
+        target = min(range(effective), key=lambda i: (loads[i], i))
+        buckets[target].append(view)
+        loads[target] += len(view.query.relations)
+    # Preserve the caller's view order inside each bucket.
+    order = {view.name: index for index, view in enumerate(views)}
+    for bucket in buckets:
+        bucket.sort(key=lambda view: order[view.name])
+    return buckets
+
+
+class ShardRouter:
+    """Footprint-based update routing across scheduler shards."""
+
+    def __init__(self) -> None:
+        self._footprints: dict[int, set[tuple[str, str]]] = {}
+
+    def register_view(self, shard_id: int, view: ViewDefinition) -> None:
+        """Register every ``(source, relation)`` the view references."""
+        footprint = self._footprints.setdefault(shard_id, set())
+        for ref in view.query.relations:
+            footprint.add((ref.source, ref.relation))
+
+    def register_relation(
+        self, shard_id: int, source: str, relation: str
+    ) -> None:
+        self._footprints.setdefault(shard_id, set()).add((source, relation))
+
+    def footprint(self, shard_id: int) -> frozenset[tuple[str, str]]:
+        return frozenset(self._footprints.get(shard_id, ()))
+
+    def accepts(self, shard_id: int, message: UpdateMessage) -> bool:
+        """Does the shard's footprint cover the message?
+
+        Accepting a ``RenameRelation`` grows the footprint with the new
+        name (monotone, closed under rename chains), so data updates
+        arriving under the new name are still delivered even before the
+        shard's view definition is rewritten.
+        """
+        footprint = self._footprints.get(shard_id)
+        if footprint is None:
+            return False
+        touched = message.payload.touched_relations()
+        if not any(
+            (message.source, relation) in footprint for relation in touched
+        ):
+            return False
+        if isinstance(message.payload, RenameRelation):
+            footprint.add((message.source, message.payload.new))
+        return True
+
+    def shards_for(self, message: UpdateMessage) -> tuple[int, ...]:
+        """Every shard whose footprint covers the message (sorted)."""
+        return tuple(
+            shard_id
+            for shard_id in sorted(self._footprints)
+            if any(
+                (message.source, relation) in self._footprints[shard_id]
+                for relation in message.payload.touched_relations()
+            )
+        )
+
+    def delivery_filter(
+        self, shard_id: int, metrics: Metrics
+    ) -> Callable[[UpdateMessage], bool]:
+        """A wrapper-sink predicate for one shard (counts into
+        ``metrics.router_delivered`` / ``router_dropped``)."""
+
+        def accept(message: UpdateMessage) -> bool:
+            if self.accepts(shard_id, message):
+                metrics.router_delivered += 1
+                return True
+            metrics.router_dropped += 1
+            return False
+
+        return accept
+
+
+@dataclass
+class Shard:
+    """One scheduler shard: a full warehouse world for a view subset.
+
+    Each shard owns an independent :class:`~repro.sim.engine.SimEngine`
+    with identically-seeded source replicas — the full committed
+    workload plays into every world so source state evolves identically
+    everywhere, while the router filters only the *delivery* of update
+    messages into this shard's UMQ.
+    """
+
+    shard_id: int
+    engine: SimEngine
+    manager: object  # ViewManager | MultiViewManager
+    scheduler: DynoScheduler
+    view_names: tuple[str, ...]
+    recovery: object | None = None
+    crash_reports: list = field(default_factory=list)
+
+    def view_managers(self) -> list:
+        managers = getattr(self.manager, "managers", None)
+        return list(managers) if managers is not None else [self.manager]
+
+    def manager_for(self, view_name: str):
+        for manager in self.view_managers():
+            if manager.view.name == view_name:
+                return manager
+        raise KeyError(view_name)
+
+
+class ShardedWarehouse:
+    """Coordinates N shard schedulers to global quiescence."""
+
+    def __init__(self, shards: list[Shard], router: ShardRouter) -> None:
+        if not shards:
+            raise ValueError("ShardedWarehouse needs at least one shard")
+        names = [name for shard in shards for name in shard.view_names]
+        if len(set(names)) != len(names):
+            raise ValueError(f"view registered on several shards: {names}")
+        self.shards = shards
+        self.router = router
+
+    # ------------------------------------------------------------------
+    # workload fan-out
+    # ------------------------------------------------------------------
+
+    def schedule_workload(self, factory: Callable[[], object]) -> None:
+        """Schedule one identically-seeded workload copy per shard.
+
+        ``factory`` must build a FRESH workload on every call: workload
+        intents hold mutable RNGs and materialize against live source
+        state at fire time, so sharing one object across engines would
+        interleave draws and diverge the worlds.
+        """
+        for shard in self.shards:
+            shard.engine.schedule_workload(factory())
+
+    # ------------------------------------------------------------------
+    # the coordinator loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        """Drive every shard to quiescence (min-clock interleaving).
+
+        Each round picks the runnable shard with the smallest virtual
+        clock and steps it once.  SC-barrier rule: a shard whose head
+        unit is SC-bearing is deferred while some peer still holds
+        messages committed before the schema change; if *every* active
+        shard is deferred (circular wait), the shard with the earliest
+        SC commit time is released.  Crashes raised by a shard's step
+        are recovered per shard from its own journal.
+        """
+        while True:
+            active = [
+                shard for shard in self.shards if not self._quiescent(shard)
+            ]
+            if not active:
+                break
+            runnable: list[Shard] = []
+            deferred: list[tuple[float, Shard]] = []
+            for shard in active:
+                barrier_at = self._sc_barrier_time(shard)
+                if barrier_at is not None and self._peer_holds_earlier_work(
+                    shard, barrier_at
+                ):
+                    shard.engine.metrics.barrier_deferrals += 1
+                    deferred.append((barrier_at, shard))
+                else:
+                    runnable.append(shard)
+            if not runnable:
+                barrier_at, released = min(
+                    deferred, key=lambda pair: (pair[0], pair[1].shard_id)
+                )
+                released.engine.metrics.barrier_releases += 1
+                runnable = [released]
+            shard = min(
+                runnable,
+                key=lambda s: (s.engine.clock.now, s.shard_id),
+            )
+            self._step(shard)
+        for shard in self.shards:
+            shard.scheduler.finish()
+
+    def _step(self, shard: Shard) -> None:
+        from ..recovery import SchedulerCrash, simulate_crash
+
+        try:
+            shard.scheduler.step()
+        except SchedulerCrash:
+            if shard.recovery is None:
+                raise
+            while True:
+                simulate_crash(shard.engine)
+                try:
+                    recovered = shard.recovery.recover()
+                    break
+                except SchedulerCrash:
+                    # Crashed during recovery: idempotent replay makes a
+                    # second attempt from the same durable state safe.
+                    continue
+            shard.manager = recovered.manager
+            shard.scheduler = recovered.scheduler
+            shard.recovery = recovered.harness
+            shard.crash_reports.append(recovered.report)
+
+    def _quiescent(self, shard: Shard) -> bool:
+        scheduler = shard.scheduler
+        if scheduler.stats.iterations >= scheduler.max_iterations:
+            return True  # runaway guard, same contract as run()
+        if not scheduler.umq.is_empty():
+            return False
+        if shard.engine.next_event_time() is not None:
+            return False
+        pool = getattr(scheduler, "pool", None)
+        return pool is None or not pool.any_busy
+
+    def _sc_barrier_time(self, shard: Shard) -> float | None:
+        """Commit time of the head unit's earliest schema change, or
+        ``None`` when the head is not SC-bearing."""
+        scheduler = shard.scheduler
+        if scheduler.umq.is_empty():
+            return None
+        head = scheduler.umq.head()
+        if not head.has_schema_change:
+            return None
+        return min(
+            message.committed_at
+            for message in head.messages
+            if message.is_schema_change
+        )
+
+    def _peer_holds_earlier_work(
+        self, shard: Shard, barrier_at: float
+    ) -> bool:
+        """Does any peer still hold maintenance committed before the
+        schema change at ``barrier_at``?
+
+        Checks the peer's queued units, its wrappers' committed-but-
+        undelivered messages, its in-flight parallel dispatches, and —
+        conservatively — whether the peer's clock could still reach a
+        commit before the barrier time.
+        """
+        for peer in self.shards:
+            if peer is shard:
+                continue
+            for message in peer.scheduler.umq.messages():
+                if message.committed_at < barrier_at:
+                    return True
+            for wrapper in peer.manager.wrappers:
+                for message in wrapper.pending_messages():
+                    if message.committed_at < barrier_at:
+                        return True
+            pool = getattr(peer.scheduler, "pool", None)
+            if pool is not None and pool.any_busy:
+                return True
+            if (
+                peer.engine.clock.now < barrier_at
+                and peer.engine.next_event_time() is not None
+            ):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # aggregate observability
+    # ------------------------------------------------------------------
+
+    def aggregate_makespan(self) -> float:
+        """Completion time of the slowest shard (the scale-out headline:
+        serial shards report summed busy time, parallel shards their
+        makespan — the aggregate is the max across shards because the
+        shards run side by side)."""
+        return max(shard.engine.metrics.elapsed for shard in self.shards)
+
+    def aggregate_metrics(self) -> Metrics:
+        merged = Metrics.merge(shard.engine.metrics for shard in self.shards)
+        merged.makespan = self.aggregate_makespan()
+        return merged
+
+    def committed_updates(self) -> frozenset:
+        """Union over shards of every maintained ``(source, seqno)``."""
+        refs: set = set()
+        for shard in self.shards:
+            refs.update(shard.scheduler.stats.processed_messages)
+            if shard.recovery is not None:
+                refs |= shard.recovery.installed_refs()
+        return frozenset(refs)
+
+    def manager_for(self, view_name: str):
+        for shard in self.shards:
+            if view_name in shard.view_names:
+                return shard.manager_for(view_name)
+        raise KeyError(view_name)
+
+    def view_names(self) -> tuple[str, ...]:
+        return tuple(
+            name for shard in self.shards for name in shard.view_names
+        )
+
+    def extent_rows(self) -> dict[str, tuple]:
+        """Canonical (sorted row tuples) extents, for oracle compares."""
+        return {
+            name: tuple(
+                sorted(map(tuple, self.manager_for(name).mv.extent.rows()))
+            )
+            for name in self.view_names()
+        }
+
+    def horizon(self) -> float:
+        """Largest virtual clock across shard worlds at quiescence."""
+        return max(shard.engine.clock.now for shard in self.shards)
+
+    def install_logs(self) -> dict[int, list]:
+        return {
+            shard.shard_id: shard.engine.install_log
+            for shard in self.shards
+        }
+
+    def crash_report_count(self) -> int:
+        return sum(len(shard.crash_reports) for shard in self.shards)

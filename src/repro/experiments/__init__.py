@@ -8,6 +8,7 @@ from .ablations import (
     run_parallel_ablation,
     run_recovery_ablation,
     run_self_maintenance_ablation,
+    run_sharding_ablation,
     run_snapshot_cache_ablation,
 )
 from .fig08 import run_figure as run_fig08
@@ -17,13 +18,21 @@ from .fig11 import run_figure as run_fig11
 from .fig12 import run_figure as run_fig12
 from .runner import FigureResult, SeriesPoint
 from .starvation import run_starvation_study
-from .testbed import Testbed, build_multiview_testbed, build_testbed
+from .testbed import (
+    ShardedTestbed,
+    Testbed,
+    build_multiview_testbed,
+    build_sharded_testbed,
+    build_testbed,
+)
 
 __all__ = [
     "FigureResult",
     "SeriesPoint",
+    "ShardedTestbed",
     "Testbed",
     "build_multiview_testbed",
+    "build_sharded_testbed",
     "build_testbed",
     "run_blind_merge_ablation",
     "run_fig08",
@@ -37,6 +46,7 @@ __all__ = [
     "run_parallel_ablation",
     "run_recovery_ablation",
     "run_self_maintenance_ablation",
+    "run_sharding_ablation",
     "run_snapshot_cache_ablation",
     "run_starvation_study",
 ]

@@ -29,6 +29,7 @@ from . import (
     run_parallel_ablation,
     run_recovery_ablation,
     run_self_maintenance_ablation,
+    run_sharding_ablation,
     run_snapshot_cache_ablation,
     run_starvation_study,
 )
@@ -50,6 +51,7 @@ def _runners(
     journal: bool = False,
     checkpoint_every: int = 8,
     crash_seed: int | None = None,
+    shards: int = 1,
 ) -> dict:
     tuples = _FULL_TUPLES if full else _QUICK_TUPLES
     # --seed overrides the workload seed of every runner that draws a
@@ -77,6 +79,11 @@ def _runners(
         "checkpoint_every": checkpoint_every,
         "crash_seed": crash_seed,
     }
+    # --shards routes every fig08..fig12 testbed through the sharded
+    # warehouse coordinator (single view => one effective shard, same
+    # numbers, exercising the router + coordinator machinery end to
+    # end); ABL-11 runs the real multi-view shard sweep internally.
+    sharded = {"shards": shards}
     return {
         "fig08": lambda: run_fig08(
             tuples_per_relation=tuples,
@@ -86,6 +93,7 @@ def _runners(
             **selfmaint,
             **batched,
             **recovered,
+            **sharded,
         ),
         "fig09": lambda: run_fig09(
             tuples_per_relation=tuples,
@@ -93,6 +101,7 @@ def _runners(
             **selfmaint,
             **batched,
             **recovered,
+            **sharded,
         ),
         "fig10": lambda: run_fig10(
             tuples_per_relation=tuples,
@@ -102,6 +111,7 @@ def _runners(
             **selfmaint,
             **batched,
             **recovered,
+            **sharded,
         ),
         "fig11": lambda: run_fig11(
             tuples_per_relation=tuples,
@@ -111,6 +121,7 @@ def _runners(
             **selfmaint,
             **batched,
             **recovered,
+            **sharded,
         ),
         "fig12": lambda: run_fig12(
             tuples_per_relation=tuples,
@@ -120,6 +131,7 @@ def _runners(
             **selfmaint,
             **batched,
             **recovered,
+            **sharded,
         ),
         "abl-blind-merge": lambda: run_blind_merge_ablation(
             tuples_per_relation=tuples,
@@ -174,6 +186,18 @@ def _runners(
                 {"du_counts": (120, 240, 480), "tuples_per_relation": 400}
                 if full
                 else {}
+            ),
+            **seeded,
+        ),
+        "abl-sharding": lambda: run_sharding_ablation(
+            **(
+                {}
+                if full
+                else {
+                    "du_count": 96,
+                    "tuples_per_relation": 120,
+                    "reads": 200_000,
+                }
             ),
             **seeded,
         ),
@@ -268,7 +292,20 @@ def main(argv: list[str] | None = None) -> int:
         "every run must still converge to the uncrashed view state, "
         "with the redone work showing up in the cost series",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run every fig08..fig12 testbed through the sharded "
+        "warehouse coordinator with N requested scheduler shards "
+        "(single-view figures collapse to one effective shard; the "
+        "baselines are unchanged at the default of 1 — the multi-view "
+        "shard sweep is the abl-sharding runner)",
+    )
     arguments = parser.parse_args(argv)
+    if arguments.shards < 1:
+        parser.error("--shards must be >= 1")
 
     runners = _runners(
         arguments.full,
@@ -279,6 +316,7 @@ def main(argv: list[str] | None = None) -> int:
         arguments.journal,
         arguments.checkpoint_every,
         arguments.crash_seed,
+        arguments.shards,
     )
     requested = (
         list(runners) if "all" in arguments.figures else arguments.figures

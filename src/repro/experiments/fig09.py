@@ -50,6 +50,7 @@ def _run_one(
     self_maintenance: bool = False,
     group_maintenance: bool = False,
     recovery: dict | None = None,
+    shards: int = 1,
 ) -> tuple[float, float, bool]:
     testbed = build_testbed(
         strategy,
@@ -57,6 +58,7 @@ def _run_one(
         snapshot_cache=snapshot_cache,
         self_maintenance=self_maintenance,
         batch_policy=BatchPolicy() if group_maintenance else None,
+        shards=shards,
         **(recovery or {}),
     )
     workload = Workload()
@@ -91,6 +93,7 @@ def run_figure(
     journal: bool = False,
     checkpoint_every: int = 8,
     crash_seed: int | None = None,
+    shards: int = 1,
 ) -> FigureResult:
     """``conflict_spacing`` = 0 commits both updates at the same instant
     (they flood the UMQ together, the paper's conflicting setup)."""
@@ -114,6 +117,7 @@ def run_figure(
             self_maintenance,
             group_maintenance,
             recovery,
+            shards,
         )
         pessimistic, _, ok1 = _run_one(
             kind,
@@ -124,6 +128,7 @@ def run_figure(
             self_maintenance,
             group_maintenance,
             recovery,
+            shards,
         )
         optimistic, abort, ok2 = _run_one(
             kind,
@@ -134,6 +139,7 @@ def run_figure(
             self_maintenance,
             group_maintenance,
             recovery,
+            shards,
         )
         if not (ok0 and ok1 and ok2):
             result.consistent = False

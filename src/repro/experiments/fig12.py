@@ -36,6 +36,7 @@ def run_figure(
     journal: bool = False,
     checkpoint_every: int = 8,
     crash_seed: int | None = None,
+    shards: int = 1,
 ) -> FigureResult:
     result = FigureResult(
         figure_id="FIG-12",
@@ -60,6 +61,7 @@ def run_figure(
                 snapshot_cache=snapshot_cache,
                 self_maintenance=self_maintenance,
                 batch_policy=BatchPolicy() if group_maintenance else None,
+                shards=shards,
                 **recovery_knobs(journal, checkpoint_every, crash_seed),
             )
             testbed.engine.schedule_workload(

@@ -44,6 +44,65 @@ RELATION_COUNT = 6
 SOURCE_COUNT = 3
 
 
+def make_du_workload(
+    tuples_per_relation: int,
+    count: int,
+    start: float,
+    interval: float,
+    insert_fraction: float = 0.8,
+    seed: int = 7,
+    key_domain: int | None = None,
+) -> Workload:
+    """Standalone flavour of :meth:`Testbed.random_du_workload`.
+
+    Builds a FRESH workload (own RNG) on every call, which is what the
+    sharded warehouse needs: each shard world replays its own
+    identically-seeded copy, because workload intents hold mutable RNGs
+    and materialize against live source state at fire time.
+    """
+    rng = random.Random(seed)
+    n = key_domain or tuples_per_relation
+    key_filter = (
+        None
+        if key_domain is None
+        else (lambda key, n=n: isinstance(key, int) and 1 <= key <= n)
+    )
+    workload = Workload()
+    for index in range(count):
+        at = start + index * interval
+        source_index = rng.randrange(SOURCE_COUNT)
+        source = source_name(source_index)
+        if rng.random() < insert_fraction:
+            intent = InsertRandomRow(
+                rng, key_factory=lambda r, n=n: r.randrange(1, n + 1)
+            )
+        else:
+            intent = DeleteRandomRow(rng, key_filter=key_filter)
+        workload.add(at, source, intent)
+    return workload
+
+
+def make_sc_workload(
+    count: int,
+    start: float,
+    interval: float,
+    seed: int = 11,
+    drop_first: bool = True,
+) -> Workload:
+    """Standalone flavour of :meth:`Testbed.schema_change_workload`."""
+    rng = random.Random(seed)
+    workload = Workload()
+    for index in range(count):
+        at = start + index * interval
+        source = source_name(rng.randrange(SOURCE_COUNT))
+        if index == 0 and drop_first:
+            intent = DropRandomAttribute(rng)
+        else:
+            intent = RenameRandomRelation(rng)
+        workload.add(at, source, intent)
+    return workload
+
+
 def relation_name(index: int) -> str:
     return f"R{index + 1}"
 
@@ -87,6 +146,14 @@ class Testbed:
     recovery: object | None = None
     #: one report per recovery performed during :meth:`run`
     crash_reports: list = field(default_factory=list)
+    #: requested shard count (``build_testbed(shards=...)``); 1 keeps
+    #: the classic single-scheduler path byte-identical
+    shards: int = 1
+    #: the :class:`~repro.core.sharding.ShardedWarehouse` driving the
+    #: run when ``shards > 1`` (a single view yields one effective
+    #: shard, but the run then still goes through the coordinator +
+    #: router so the flag exercises the sharded code path end to end)
+    warehouse: object | None = None
 
     @property
     def metrics(self):
@@ -127,26 +194,15 @@ class Testbed:
         cache / auxiliary store pay off — without deletes silently
         degenerating into no-ops outside the hot set.
         """
-        rng = random.Random(seed)
-        n = key_domain or self.tuples_per_relation
-        key_filter = (
-            None
-            if key_domain is None
-            else (lambda key, n=n: isinstance(key, int) and 1 <= key <= n)
+        return make_du_workload(
+            self.tuples_per_relation,
+            count,
+            start,
+            interval,
+            insert_fraction=insert_fraction,
+            seed=seed,
+            key_domain=key_domain,
         )
-        workload = Workload()
-        for index in range(count):
-            at = start + index * interval
-            source_index = rng.randrange(SOURCE_COUNT)
-            source = source_name(source_index)
-            if rng.random() < insert_fraction:
-                intent = InsertRandomRow(
-                    rng, key_factory=lambda r, n=n: r.randrange(1, n + 1)
-                )
-            else:
-                intent = DeleteRandomRow(rng, key_filter=key_filter)
-            workload.add(at, source, intent)
-        return workload
 
     def schema_change_workload(
         self,
@@ -159,17 +215,9 @@ class Testbed:
         """``count`` schema changes: one drop-attribute followed by
         rename-relation operations, randomly placed over the six
         relations (the Section 6.4 mixture)."""
-        rng = random.Random(seed)
-        workload = Workload()
-        for index in range(count):
-            at = start + index * interval
-            source = source_name(rng.randrange(SOURCE_COUNT))
-            if index == 0 and drop_first:
-                intent = DropRandomAttribute(rng)
-            else:
-                intent = RenameRandomRelation(rng)
-            workload.add(at, source, intent)
-        return workload
+        return make_sc_workload(
+            count, start, interval, seed=seed, drop_first=drop_first
+        )
 
     def run(self) -> None:
         """Schedule nothing more; drive the scheduler to quiescence.
@@ -178,6 +226,15 @@ class Testbed:
         survived: the dead warehouse is torn down, ``recover()`` rebuilds
         it from checkpoint + journal, and the run resumes — including
         crashes injected during recovery itself."""
+        if self.warehouse is not None:
+            # The coordinator recovers crashed shards internally; after
+            # the run, re-point at the (possibly rebuilt) primary world.
+            self.warehouse.run()
+            primary = self.warehouse.shards[0]
+            self.manager = primary.manager
+            self.scheduler = primary.scheduler
+            self.recovery = primary.recovery
+            return
         if self.recovery is None:
             self.scheduler.run()
             return
@@ -211,6 +268,8 @@ class Testbed:
         """Every (source, seqno) whose maintenance committed, across
         crashes: journal-installed units from all epochs plus the live
         scheduler's processed messages."""
+        if self.warehouse is not None:
+            return self.warehouse.committed_updates()
         refs = set(self.scheduler.stats.processed_messages)
         if self.recovery is not None:
             refs |= self.recovery.installed_refs()
@@ -361,6 +420,7 @@ def build_testbed(
     checkpoint_every: int = 8,
     crash_plan=None,
     journal_dir=None,
+    shards: int = 1,
 ) -> Testbed:
     """Create sources, load data, define the 6-way join view.
 
@@ -401,6 +461,15 @@ def build_testbed(
     :class:`~repro.recovery.crash.CrashInjector` killing the warehouse
     per the plan; :meth:`Testbed.run` then recovers and resumes
     (``crash_plan`` implies ``journal``).
+
+    ``shards`` routes the run through the sharded warehouse coordinator
+    (:mod:`repro.core.sharding`).  The single 6-way view cannot split,
+    so any ``shards > 1`` yields one *effective* shard — but the run
+    then exercises the footprint router and coordinator end to end,
+    which is exactly what the fig08–fig12 ``--shards`` flag wants;
+    multi-shard speedups come from :func:`build_sharded_testbed`'s
+    multi-view workloads.  The default 1 keeps the classic path
+    untouched.
     """
     journal = journal or crash_plan is not None
     engine, rng = _populated_engine(
@@ -425,7 +494,15 @@ def build_testbed(
         for index in range(RELATION_COUNT - 1)
     )
     view = ViewDefinition("V", SPJQuery(relations, projection, joins))
-    manager = ViewManager(engine, view)
+    router = None
+    message_filter = None
+    if shards > 1:
+        from ..core.sharding import ShardRouter
+
+        router = ShardRouter()
+        router.register_view(0, view)
+        message_filter = router.delivery_filter(0, engine.metrics)
+    manager = ViewManager(engine, view, message_filter=message_filter)
     if self_maintenance:
         store = manager.install_self_maintenance()
         for source in engine.sources.values():
@@ -446,7 +523,24 @@ def build_testbed(
             crash_plan,
             journal_dir,
         )
-    return Testbed(
+    warehouse = None
+    if shards > 1:
+        from ..core.sharding import Shard, ShardedWarehouse
+
+        warehouse = ShardedWarehouse(
+            [
+                Shard(
+                    0,
+                    engine,
+                    manager,
+                    scheduler,
+                    (view.name,),
+                    recovery=recovery,
+                )
+            ],
+            router,
+        )
+    testbed = Testbed(
         engine,
         manager,
         scheduler,
@@ -456,7 +550,13 @@ def build_testbed(
         parallel_workers=parallel_workers,
         batch_policy=batch_policy,
         recovery=recovery,
+        shards=shards,
+        warehouse=warehouse,
     )
+    if warehouse is not None:
+        # Per-shard recovery reports surface through the testbed list.
+        warehouse.shards[0].crash_reports = testbed.crash_reports
+    return testbed
 
 
 def subview_query(first: int, last: int) -> SPJQuery:
@@ -544,6 +644,217 @@ def build_multiview_testbed(
         parallel_workers=parallel_workers,
         batch_policy=batch_policy,
         recovery=recovery,
+    )
+
+
+#: four overlapping subviews covering R1..R6 with every relation in at
+#: most two views — the balanced multi-view workload the sharding
+#: ablation (ABL-11) scales across shards
+SHARDED_SPANS: tuple[tuple[int, int], ...] = (
+    (0, 2),
+    (1, 3),
+    (3, 5),
+    (4, 6),
+)
+
+
+@dataclass
+class ShardedTestbed:
+    """A sharded multi-view warehouse plus its read front end."""
+
+    warehouse: object  # ShardedWarehouse
+    tuples_per_relation: int
+    shards: int
+    #: view name -> extent cardinality right after the initial load
+    #: (the read front end's version-0 sizes)
+    initial_sizes: dict[str, int]
+    strategy: Strategy | None = None
+    parallel_workers: int | None = None
+
+    @property
+    def metrics(self):
+        """Aggregated metrics; ``metrics.makespan`` is the aggregate
+        makespan (completion time of the slowest shard)."""
+        return self.warehouse.aggregate_metrics()
+
+    def schedule_du_workload(
+        self,
+        count: int,
+        start: float,
+        interval: float,
+        insert_fraction: float = 0.8,
+        seed: int = 7,
+        key_domain: int | None = None,
+    ) -> None:
+        """Fan the DU stream out: one identically-seeded copy per shard
+        world (sources evolve identically; the router filters only the
+        wrapper -> UMQ delivery)."""
+        self.warehouse.schedule_workload(
+            lambda: make_du_workload(
+                self.tuples_per_relation,
+                count,
+                start,
+                interval,
+                insert_fraction=insert_fraction,
+                seed=seed,
+                key_domain=key_domain,
+            )
+        )
+
+    def schedule_sc_workload(
+        self,
+        count: int,
+        start: float,
+        interval: float,
+        seed: int = 11,
+        drop_first: bool = True,
+    ) -> None:
+        self.warehouse.schedule_workload(
+            lambda: make_sc_workload(
+                count, start, interval, seed=seed, drop_first=drop_first
+            )
+        )
+
+    def run(self) -> None:
+        self.warehouse.run()
+
+    def committed_updates(self) -> frozenset:
+        return self.warehouse.committed_updates()
+
+    def extent_rows(self) -> dict[str, tuple]:
+        return self.warehouse.extent_rows()
+
+    def check_consistency(self) -> bool:
+        """Every shard's views converge to the fresh-recompute oracle."""
+        from ..views.consistency import check_convergence
+
+        return all(
+            check_convergence(manager).consistent
+            for shard in self.warehouse.shards
+            for manager in shard.view_managers()
+        )
+
+    def read_front_end(self):
+        """Build the post-run read front end over the install logs."""
+        from ..frontend.reads import ReadFrontEnd
+
+        return ReadFrontEnd.for_warehouse(self.warehouse, self.initial_sizes)
+
+
+def build_sharded_testbed(
+    strategy: Strategy,
+    shards: int = 1,
+    tuples_per_relation: int = 200,
+    cost_model: CostModel | None = None,
+    seed: int = 3,
+    backend: str = "memory",
+    parallel_workers: int | None = None,
+    snapshot_cache: bool = False,
+    self_maintenance: bool = False,
+    batch_policy: BatchPolicy | None = None,
+    spans: tuple[tuple[int, int], ...] = SHARDED_SPANS,
+    journal: bool = False,
+    checkpoint_every: int = 8,
+    crash_plan=None,
+    journal_dir=None,
+    fault_plan=None,
+) -> ShardedTestbed:
+    """The sharded analogue of :func:`build_multiview_testbed`.
+
+    Builds one full warehouse *world* per effective shard — its own
+    engine, identically-seeded source replicas, snapshot cache,
+    self-maintenance store, journal (under ``journal_dir/shard-N``) and
+    fault injector — assigns the span subviews across shards with
+    :func:`~repro.core.sharding.assign_views`, and wires every shard's
+    wrappers through the footprint router.  ``shards=1`` is the oracle
+    arm: one scheduler owning every view, still driven through the
+    coordinator so the code path (not just the answer) is comparable.
+    """
+    from ..core.sharding import (
+        Shard,
+        ShardedWarehouse,
+        ShardRouter,
+        assign_views,
+    )
+
+    views = [
+        ViewDefinition(f"V{index + 1}", subview_query(first, last))
+        for index, (first, last) in enumerate(spans)
+    ]
+    buckets = assign_views(views, shards)
+    router = ShardRouter()
+    shard_list = []
+    initial_sizes: dict[str, int] = {}
+    for shard_id, bucket in enumerate(buckets):
+        engine, _ = _populated_engine(
+            tuples_per_relation, cost_model, seed, backend, snapshot_cache
+        )
+        if fault_plan is not None:
+            from ..faults.injector import FaultInjector
+
+            engine.install_faults(FaultInjector(fault_plan))
+        for view in bucket:
+            router.register_view(shard_id, view)
+        message_filter = router.delivery_filter(shard_id, engine.metrics)
+        if len(bucket) == 1:
+            manager = ViewManager(
+                engine, bucket[0], message_filter=message_filter
+            )
+        else:
+            manager = MultiViewManager(
+                engine, list(bucket), message_filter=message_filter
+            )
+        if self_maintenance:
+            store = manager.install_self_maintenance()
+            for source in engine.sources.values():
+                store.seed_from_source(source)
+        scheduler = _make_scheduler(
+            manager, strategy, parallel_workers, batch_policy
+        )
+        recovery = None
+        if journal or crash_plan is not None:
+            shard_dir = None
+            if journal_dir is not None:
+                from pathlib import Path
+
+                shard_dir = Path(journal_dir) / f"shard-{shard_id}"
+                shard_dir.mkdir(parents=True, exist_ok=True)
+            recovery = _arm_recovery(
+                engine,
+                manager,
+                scheduler,
+                strategy,
+                parallel_workers,
+                batch_policy,
+                checkpoint_every,
+                crash_plan,
+                shard_dir,
+            )
+        for view in bucket:
+            mv = (
+                manager.manager_for(view.name).mv
+                if hasattr(manager, "manager_for")
+                else manager.mv
+            )
+            initial_sizes[view.name] = len(mv.extent)
+        shard_list.append(
+            Shard(
+                shard_id,
+                engine,
+                manager,
+                scheduler,
+                tuple(view.name for view in bucket),
+                recovery=recovery,
+            )
+        )
+    warehouse = ShardedWarehouse(shard_list, router)
+    return ShardedTestbed(
+        warehouse,
+        tuples_per_relation,
+        len(buckets),
+        initial_sizes,
+        strategy=strategy,
+        parallel_workers=parallel_workers,
     )
 
 

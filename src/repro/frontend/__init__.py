@@ -1,0 +1,26 @@
+"""Read-serving front end for the (sharded) warehouse.
+
+The maintenance plane keeps view extents fresh; this package simulates
+the *consumers*: seeded point/scan read workloads replayed against the
+per-install version timelines the engines record, at configurable
+consistency levels, with p50/p99 latency and staleness reported next to
+makespan.
+"""
+
+from .reads import (
+    READ_COMMITTED_VERSION,
+    READ_LATEST,
+    ReadFrontEnd,
+    ReadReport,
+    ReadWorkload,
+    ShardTimeline,
+)
+
+__all__ = [
+    "READ_COMMITTED_VERSION",
+    "READ_LATEST",
+    "ReadFrontEnd",
+    "ReadReport",
+    "ReadWorkload",
+    "ShardTimeline",
+]

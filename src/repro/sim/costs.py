@@ -93,6 +93,17 @@ class CostModel:
     checkpoint_per_tuple: float = 0.00005
     #: per journal entry scanned/applied during recovery replay
     replay_per_entry: float = 0.0002
+    #: fixed cost of one front-end point read against a view extent
+    #: (index lookup on the serving replica; no source involved)
+    read_point_base: float = 0.0002
+    #: fixed cost of one front-end scan read (predicate pass start-up)
+    read_scan_base: float = 0.0005
+    #: per tuple touched by a front-end scan read
+    read_scan_per_tuple: float = 0.000001
+    #: concurrent read servers per shard in the front-end queueing
+    #: model; extra reads wait for a free server, which is where the
+    #: p99 tail comes from
+    read_servers: int = 4
 
     # ------------------------------------------------------------------
     # derived costs
@@ -167,6 +178,14 @@ class CostModel:
         """Scanning/applying ``entries`` journal entries at recovery."""
         return entries * self.replay_per_entry
 
+    def point_read(self) -> float:
+        """One front-end point read served off a view extent."""
+        return self.read_point_base
+
+    def scan_read(self, extent_tuples: int) -> float:
+        """One front-end scan read over ``extent_tuples`` view rows."""
+        return self.read_scan_base + extent_tuples * self.read_scan_per_tuple
+
     @classmethod
     def paper_default(cls) -> "CostModel":
         """The calibrated default used by all figure reproductions."""
@@ -234,4 +253,7 @@ class CostModel:
             checkpoint_base=0.0,
             checkpoint_per_tuple=0.0,
             replay_per_entry=0.0,
+            read_point_base=0.0,
+            read_scan_base=0.0,
+            read_scan_per_tuple=0.0,
         )

@@ -61,6 +61,22 @@ class QueryAnswer:
     answered_at: float
 
 
+@dataclass(frozen=True)
+class InstallRecord:
+    """One committed unit install, as the read front end sees it.
+
+    ``at`` is the virtual install time, ``view_sizes`` maps view name to
+    extent cardinality at the new version, and ``messages`` lists the
+    ``(source, seqno, committed_at)`` triples the installed unit covered
+    — enough to compute per-version commit watermarks without touching
+    live warehouse state after the run.
+    """
+
+    at: float
+    view_sizes: dict[str, int]
+    messages: tuple[tuple[str, int, float], ...]
+
+
 class SimEngine:
     """Interprets effects against virtual time and autonomous commits."""
 
@@ -93,8 +109,32 @@ class SimEngine:
         #: the snapshot cache (callers opt in via
         #: :meth:`install_self_maintenance`)
         self.selfmaint: "SelfMaintenanceStore | None" = None
+        #: per-install version timeline — one record per committed unit
+        #: install, consumed by the read front end to serve versioned
+        #: reads post hoc (empty unless a manager runs in this engine)
+        self.install_log: list["InstallRecord"] = []
         if injector is not None:
             self.install_faults(injector, retry_policy)
+
+    def record_install(
+        self,
+        view_sizes: dict[str, int],
+        messages: tuple[tuple[str, int, float], ...],
+    ) -> None:
+        """Append one install record to the version timeline.
+
+        Called by the view managers after a maintenance unit's outcome
+        is applied; ``view_sizes`` snapshots every managed view's extent
+        cardinality at the new version and ``messages`` lists the
+        ``(source, seqno, committed_at)`` triples the unit covered.
+        """
+        self.install_log.append(
+            InstallRecord(
+                at=self.clock.now,
+                view_sizes=dict(view_sizes),
+                messages=messages,
+            )
+        )
 
     # ------------------------------------------------------------------
     # setup

@@ -9,7 +9,14 @@ maintenance attempts that a broken query later forced to be discarded.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import Iterable
+
+#: fields that are high-water marks, not additive counters: a merge
+#: across schedulers takes their max (two shards running side by side
+#: finish when the slowest one does; their peak widths do not add
+#: because each pool dispatches against its own worker timeline)
+_GAUGE_FIELDS = frozenset({"makespan", "peak_parallelism"})
 
 
 @dataclass
@@ -118,6 +125,30 @@ class Metrics:
     recoveries: int = 0
     #: journal entries scanned during recovery replays
     replayed_entries: int = 0
+    #: update messages a shard router delivered into this scheduler's
+    #: UMQ (sharded runs only; serial runs leave these at 0)
+    router_delivered: int = 0
+    #: update messages the shard router filtered out of this shard's
+    #: stream because no registered view references the touched relation
+    router_dropped: int = 0
+    #: coordinator rounds this shard spent deferring an SC-bearing head
+    #: unit behind the cross-shard barrier
+    barrier_deferrals: int = 0
+    #: barrier deadlock-avoidance releases (the earliest-SC shard was
+    #: allowed to proceed although peers still held pre-SC messages)
+    barrier_releases: int = 0
+    #: point/scan reads served by the read front end
+    reads_served: int = 0
+    #: summed read service + queueing latency (virtual seconds)
+    read_latency_time: float = 0.0
+    #: summed time reads spent queued for a free front-end server
+    read_wait_time: float = 0.0
+    #: reads that observed a stale version (>= 1 routed committed
+    #: update was not yet visible in the served extent version)
+    stale_reads: int = 0
+    #: summed staleness over all reads (age of the oldest committed
+    #: update invisible to the served version; virtual seconds)
+    staleness_time: float = 0.0
     #: broken-query anomalies by Section 3.1 type (3 = SC vs M(DU),
     #: 4 = SC vs M(SC)); types 1-2 never abort — they are absorbed by
     #: compensation and visible in the manager's CompensationLog
@@ -125,6 +156,34 @@ class Metrics:
 
     def charge(self, kind: str, duration: float) -> None:
         self.busy_time[kind] += duration
+
+    @classmethod
+    def merge(cls, runs: Iterable["Metrics"]) -> "Metrics":
+        """Aggregate several per-scheduler runs into one view.
+
+        Counter-valued fields (busy time, worker busy time, anomalies)
+        sum per key; scalar counters sum; makespan-style gauges (see
+        ``_GAUGE_FIELDS``) take the max.  This replaces the ad-hoc
+        per-field aggregation ablation code used to do by hand, and
+        automatically covers counters added later.
+
+        Note the merged ``elapsed`` sums serial busy time across
+        schedulers; a sharded coordinator that wants the *aggregate
+        makespan* (completion time of the slowest shard) should set
+        ``merged.makespan = max(run.elapsed for run in runs)``.
+        """
+        merged = cls()
+        for run in runs:
+            for spec in fields(cls):
+                current = getattr(merged, spec.name)
+                incoming = getattr(run, spec.name)
+                if isinstance(current, Counter):
+                    current.update(incoming)
+                elif spec.name in _GAUGE_FIELDS:
+                    setattr(merged, spec.name, max(current, incoming))
+                else:
+                    setattr(merged, spec.name, current + incoming)
+        return merged
 
     @property
     def total_busy_time(self) -> float:
@@ -194,6 +253,15 @@ class Metrics:
             "checkpoints_taken": self.checkpoints_taken,
             "recoveries": self.recoveries,
             "replayed_entries": self.replayed_entries,
+            "router_delivered": self.router_delivered,
+            "router_dropped": self.router_dropped,
+            "barrier_deferrals": self.barrier_deferrals,
+            "barrier_releases": self.barrier_releases,
+            "reads_served": self.reads_served,
+            "read_latency_time": round(self.read_latency_time, 6),
+            "read_wait_time": round(self.read_wait_time, 6),
+            "stale_reads": self.stale_reads,
+            "staleness_time": round(self.staleness_time, 6),
             "worker_utilization": self.worker_utilization(),
             "anomalies": {
                 kind.name: count for kind, count in self.anomalies.items()

@@ -75,6 +75,31 @@ class MaintenanceOutcome:
     applied_changes: list = None  # list[(source, SchemaChange)] | None
 
 
+def filtered_sink(umq: UpdateMessageQueue, message_filter):
+    """Wrapper sink delivering into ``umq`` through an optional filter.
+
+    With ``message_filter=None`` this is exactly ``umq.receive``; with a
+    predicate, messages the filter rejects are silently not enqueued
+    (the source commit itself is untouched — filtering is a delivery
+    concern, so maintenance queries still observe full source state)."""
+    if message_filter is None:
+        return umq.receive
+
+    def sink(message) -> None:
+        if message_filter(message):
+            umq.receive(message)
+
+    return sink
+
+
+def install_messages(unit: MaintenanceUnit) -> tuple:
+    """The ``(source, seqno, committed_at)`` triples a unit covers, in
+    the shape :meth:`~repro.sim.engine.SimEngine.record_install` wants."""
+    return tuple(
+        (m.source, m.seqno, m.committed_at) for m in unit.messages
+    )
+
+
 class ViewManager:
     """Maintains one materialized view over autonomous sources."""
 
@@ -86,6 +111,7 @@ class ViewManager:
         umq: UpdateMessageQueue | None = None,
         attach_wrappers: bool = True,
         initial_extent: "Table | None" = None,
+        message_filter=None,
     ) -> None:
         """``umq``/``attach_wrappers`` let several managers share one
         queue (see :class:`~repro.views.multi.MultiViewManager`).
@@ -93,7 +119,13 @@ class ViewManager:
         ``initial_extent`` is the crash-recovery restore path: the
         extent is installed verbatim (no ``result_schema`` resolution
         against live sources — the definition may reference renamed
-        relations — and no initial load)."""
+        relations — and no initial load).
+
+        ``message_filter`` (``Callable[[UpdateMessage], bool] | None``)
+        sits between the wrappers and the UMQ: a message is enqueued
+        only when the filter accepts it.  Shard routers use this to
+        deliver each shard only the slice of the committed stream its
+        registered views reference."""
         self.engine = engine
         self.view = view
         #: write-ahead maintenance journal (armed by a RecoveryHarness)
@@ -107,11 +139,12 @@ class ViewManager:
         )
         self.compensation_log = CompensationLog()
         self.schema_history = SchemaHistory()
+        self._sink = filtered_sink(self.umq, message_filter)
         self.wrappers: list[Wrapper] = []
         if attach_wrappers:
             for source in engine.sources.values():
                 self.wrappers.append(
-                    Wrapper(source, self.umq.receive, engine=engine)
+                    Wrapper(source, self._sink, engine=engine)
                 )
         if initial_extent is not None:
             self.mv = MaterializedView(view.name, initial_extent.schema)
@@ -180,7 +213,7 @@ class ViewManager:
         """Attach a source that joined after construction."""
         self.engine.add_source(source)
         self.wrappers.append(
-            Wrapper(source, self.umq.receive, engine=self.engine)
+            Wrapper(source, self._sink, engine=self.engine)
         )
 
     def _in_flight_messages(self) -> list:
@@ -318,6 +351,9 @@ class ViewManager:
             self.journal.record_install(unit, [prepared])
             self.engine.crash_point("install.post_journal")
         self.apply_outcome(prepared, counted_updates=len(unit))
+        self.engine.record_install(
+            {self.view.name: len(self.mv.extent)}, install_messages(unit)
+        )
         self.engine.crash_point("install.post_apply")
 
     def compute_maintenance(

@@ -28,7 +28,12 @@ from ..sources.mkb import MetaKnowledgeBase
 from ..sources.source import DataSource
 from ..sources.wrapper import Wrapper
 from .definition import ViewDefinition
-from .manager import MaintenanceOutcome, ViewManager
+from .manager import (
+    MaintenanceOutcome,
+    ViewManager,
+    filtered_sink,
+    install_messages,
+)
 from .umq import MaintenanceUnit, UpdateMessageQueue
 
 
@@ -47,9 +52,14 @@ class MultiViewManager:
         views: list[ViewDefinition],
         mkb: MetaKnowledgeBase | None = None,
         initial_extents: "dict | None" = None,
+        message_filter=None,
     ) -> None:
         """``initial_extents`` (view name -> Table) is the crash-recovery
-        restore path; see :class:`~repro.views.manager.ViewManager`."""
+        restore path; see :class:`~repro.views.manager.ViewManager`.
+
+        ``message_filter`` gates wrapper delivery into the shared UMQ
+        (see :class:`~repro.views.manager.ViewManager`); shard routers
+        use it to keep out-of-footprint messages off this queue."""
         if not views:
             raise ValueError("MultiViewManager needs at least one view")
         names = [view.name for view in views]
@@ -59,8 +69,9 @@ class MultiViewManager:
         #: write-ahead maintenance journal (armed by a RecoveryHarness)
         self.journal = None
         self.umq = UpdateMessageQueue()
+        self._sink = filtered_sink(self.umq, message_filter)
         self.wrappers: list[Wrapper] = [
-            Wrapper(source, self.umq.receive, engine=engine)
+            Wrapper(source, self._sink, engine=engine)
             for source in engine.sources.values()
         ]
         extents = initial_extents or {}
@@ -126,7 +137,7 @@ class MultiViewManager:
     def connect(self, source: DataSource) -> None:
         self.engine.add_source(source)
         self.wrappers.append(
-            Wrapper(source, self.umq.receive, engine=self.engine)
+            Wrapper(source, self._sink, engine=self.engine)
         )
 
     # ------------------------------------------------------------------
@@ -195,4 +206,11 @@ class MultiViewManager:
             manager.apply_outcome(
                 outcome, counted_updates=len(unit) if index == 0 else 0
             )
+        self.engine.record_install(
+            {
+                manager.view.name: len(manager.mv.extent)
+                for manager in self.managers
+            },
+            install_messages(unit),
+        )
         self.engine.crash_point("install.post_apply")

@@ -39,6 +39,7 @@ class TestExecution:
             journal=False,
             checkpoint_every=8,
             crash_seed=None,
+            shards=1,
         ):
             return {"fig09": lambda: calls.append(full) or FakeResult()}
 
@@ -59,7 +60,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1: {
                 "fig09": lambda: seen.append(full) or FakeResult()
             },
         )
@@ -78,7 +79,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1: {
                 "fig09": lambda: seen.append(seed) or FakeResult()
             },
         )
@@ -98,7 +99,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1: {
                 "fig09": lambda: seen.append(snapshot_cache) or FakeResult()
             },
         )
@@ -123,7 +124,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1: {
                 "fig09": lambda: seen.append(self_maintenance)
                 or FakeResult()
             },
@@ -151,7 +152,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1: {
                 "fig09": lambda: seen.append(group_maintenance)
                 or FakeResult()
             },
@@ -177,7 +178,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1: {
                 "fig09": lambda: seen.append(
                     (journal, checkpoint_every, crash_seed)
                 )
@@ -193,6 +194,33 @@ class TestExecution:
         runners = cli._runners(full=False, crash_seed=3)
         assert "fig12" in runners
 
+    def test_shards_flag_threaded_through(self, monkeypatch):
+        seen = []
+
+        class FakeResult:
+            consistent = True
+
+            def table(self):
+                return ""
+
+        monkeypatch.setattr(
+            cli,
+            "_runners",
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1: {
+                "fig09": lambda: seen.append(shards) or FakeResult()
+            },
+        )
+        cli.main(["fig09", "--shards", "4"])
+        cli.main(["fig09"])
+        assert seen == [4, 1]
+
+    def test_shards_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig09", "--shards", "0"])
+
+    def test_sharding_ablation_registered(self):
+        assert "abl-sharding" in cli._runners(full=False)
+
     def test_batch_and_cache_flags_compose(self, monkeypatch):
         seen = []
 
@@ -205,7 +233,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1: {
                 "fig09": lambda: seen.append(
                     (snapshot_cache, group_maintenance)
                 )
@@ -227,7 +255,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1: {
                 name: (lambda n=name: ran.append(n) or FakeResult())
                 for name in ("fig09", "fig10")
             },
@@ -243,6 +271,6 @@ class TestExecution:
                 return ""
 
         monkeypatch.setattr(
-            cli, "_runners", lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None: {"fig09": BadResult}
+            cli, "_runners", lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1: {"fig09": BadResult}
         )
         assert cli.main(["fig09"]) == 1

@@ -1,0 +1,124 @@
+"""Router soundness/completeness: sharded delivery loses nothing.
+
+For any assignment of views to shards and any committed update stream,
+the footprint router must deliver each message to *every* shard whose
+views reference a touched relation and to *no* other shard.  Two
+properties follow, checked on randomized registrations and streams:
+
+* completeness — the union over shards of delivered messages equals the
+  subset of the stream that touches any registered relation (with one
+  registered view per relation, that is the whole stream); and
+* soundness — a shard never receives a message outside its footprint
+  (modulo footprints grown by delivered renames, which is the monotone
+  rename-following rule, itself checked here).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sharding import ShardRouter, assign_views
+from repro.experiments.testbed import subview_query
+from repro.sources.messages import DataUpdate, RenameRelation, UpdateMessage
+from repro.views.definition import ViewDefinition
+
+#: the testbed's (source, relation) catalogue: R1..R3 on src1,
+#: R4..R5 on src2, R6 on src3 — mirrors source_of_relation
+CATALOGUE = tuple(
+    ("src1" if index < 3 else "src2" if index < 5 else "src3", f"R{index + 1}")
+    for index in range(6)
+)
+
+spans = st.tuples(st.integers(0, 4), st.integers(2, 3)).map(
+    lambda pair: (pair[0], min(pair[0] + pair[1], 6))
+)
+view_sets = st.lists(spans, min_size=1, max_size=5, unique=True)
+shard_counts = st.integers(1, 4)
+streams = st.lists(
+    st.integers(0, len(CATALOGUE) - 1), min_size=1, max_size=40
+)
+
+
+def _register(view_spans, shards):
+    views = [
+        ViewDefinition(f"V{index + 1}", subview_query(first, last))
+        for index, (first, last) in enumerate(view_spans)
+    ]
+    router = ShardRouter()
+    buckets = assign_views(views, shards)
+    for shard_id, bucket in enumerate(buckets):
+        for view in bucket:
+            router.register_view(shard_id, view)
+    return router, buckets
+
+
+def _stream(indices):
+    return [
+        UpdateMessage(source, seqno, float(seqno), DataUpdate(relation, None))
+        for seqno, (source, relation) in enumerate(
+            CATALOGUE[index] for index in indices
+        )
+    ]
+
+
+@given(view_sets, shard_counts, streams)
+@settings(max_examples=60, deadline=None)
+def test_union_of_deliveries_covers_referenced_stream(
+    view_spans, shards, indices
+):
+    router, buckets = _register(view_spans, shards)
+    referenced = {
+        (ref.source, ref.relation)
+        for bucket in buckets
+        for view in bucket
+        for ref in view.query.relations
+    }
+    stream = _stream(indices)
+    delivered = set()
+    for message in stream:
+        for shard_id in range(len(buckets)):
+            if router.accepts(shard_id, message):
+                delivered.add((message.source, message.seqno))
+    expected = {
+        (message.source, message.seqno)
+        for message in stream
+        if any(
+            (message.source, relation) in referenced
+            for relation in message.payload.touched_relations()
+        )
+    }
+    assert delivered == expected
+
+
+@given(view_sets, shard_counts, streams)
+@settings(max_examples=60, deadline=None)
+def test_no_shard_receives_out_of_footprint_messages(
+    view_spans, shards, indices
+):
+    router, buckets = _register(view_spans, shards)
+    for message in _stream(indices):
+        for shard_id in range(len(buckets)):
+            before = router.footprint(shard_id)
+            accepted = router.accepts(shard_id, message)
+            touched = {
+                (message.source, relation)
+                for relation in message.payload.touched_relations()
+            }
+            assert accepted == bool(touched & before)
+
+
+@given(view_sets, shard_counts, st.integers(0, len(CATALOGUE) - 1))
+@settings(max_examples=40, deadline=None)
+def test_rename_following_keeps_new_name_flowing(view_spans, shards, index):
+    router, buckets = _register(view_spans, shards)
+    source, relation = CATALOGUE[index]
+    rename = UpdateMessage(
+        source, 0, 0.5, RenameRelation(relation, relation + "x")
+    )
+    for shard_id in range(len(buckets)):
+        knew_old = (source, relation) in router.footprint(shard_id)
+        accepted = router.accepts(shard_id, rename)
+        assert accepted == knew_old
+        follow_up = UpdateMessage(
+            source, 1, 1.0, DataUpdate(relation + "x", None)
+        )
+        assert router.accepts(shard_id, follow_up) == knew_old

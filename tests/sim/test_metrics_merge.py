@@ -1,0 +1,89 @@
+"""Metrics.merge: counters sum, gauges take the max, Counters merge."""
+
+from dataclasses import fields
+
+from repro.sim.metrics import _GAUGE_FIELDS, Metrics
+
+
+def _sample(scale: int) -> Metrics:
+    metrics = Metrics()
+    metrics.charge("query", 1.5 * scale)
+    metrics.charge("vs_rewrite", 0.25 * scale)
+    metrics.aborts = scale
+    metrics.maintained_updates = 10 * scale
+    metrics.router_delivered = 3 * scale
+    metrics.router_dropped = scale
+    metrics.barrier_deferrals = 2 * scale
+    metrics.reads_served = 100 * scale
+    metrics.read_latency_time = 0.5 * scale
+    metrics.staleness_time = 0.125 * scale
+    metrics.makespan = 4.0 * scale
+    metrics.peak_parallelism = scale + 1
+    metrics.worker_busy_time[0] += 1.0 * scale
+    return metrics
+
+
+def test_merge_sums_scalar_counters():
+    merged = Metrics.merge([_sample(1), _sample(2)])
+    assert merged.aborts == 3
+    assert merged.maintained_updates == 30
+    assert merged.router_delivered == 9
+    assert merged.router_dropped == 3
+    assert merged.barrier_deferrals == 6
+    assert merged.reads_served == 300
+    assert merged.read_latency_time == 1.5
+    assert merged.staleness_time == 0.375
+
+
+def test_merge_takes_max_of_gauges():
+    merged = Metrics.merge([_sample(3), _sample(1)])
+    assert merged.makespan == 12.0
+    assert merged.peak_parallelism == 4
+
+
+def test_merge_unions_counter_fields_per_key():
+    left = Metrics()
+    left.charge("query", 1.0)
+    left.worker_busy_time[0] += 2.0
+    right = Metrics()
+    right.charge("query", 0.5)
+    right.charge("va_sync", 0.25)
+    right.worker_busy_time[1] += 3.0
+    merged = Metrics.merge([left, right])
+    assert merged.busy_time["query"] == 1.5
+    assert merged.busy_time["va_sync"] == 0.25
+    assert merged.worker_busy_time == {0: 2.0, 1: 3.0}
+    assert merged.total_busy_time == 1.75
+
+
+def test_merge_of_nothing_is_fresh():
+    merged = Metrics.merge([])
+    assert merged.maintenance_cost == 0.0
+    assert merged.reads_served == 0
+
+
+def test_merge_identity_single_run():
+    run = _sample(2)
+    merged = Metrics.merge([run])
+    for spec in fields(Metrics):
+        assert getattr(merged, spec.name) == getattr(run, spec.name), spec.name
+
+
+def test_merge_covers_every_field_generically():
+    """Every numeric field participates: merging two identical runs must
+    double every non-gauge numeric field and keep every gauge fixed —
+    so a counter added later is covered with no change here."""
+    run_a, run_b = _sample(1), _sample(1)
+    merged = Metrics.merge([run_a, run_b])
+    for spec in fields(Metrics):
+        single = getattr(run_a, spec.name)
+        combined = getattr(merged, spec.name)
+        if spec.name in _GAUGE_FIELDS:
+            assert combined == single, spec.name
+        elif isinstance(single, (int, float)):
+            assert combined == 2 * single, spec.name
+
+
+def test_gauge_fields_exist():
+    names = {spec.name for spec in fields(Metrics)}
+    assert _GAUGE_FIELDS <= names
