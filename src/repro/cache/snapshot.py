@@ -192,10 +192,13 @@ class SnapshotCache:
                     abs(count) for _row, count in effect.items()
                 )
                 corrected.merge(effect)
-            table = Table(table.schema)
-            for row, count in corrected.items():
-                if count > 0:
-                    table.insert(row, count)
+            # Rows already passed validation on the way into the cache
+            # and the deltas came from committed updates — adopt the
+            # positive part in bulk rather than re-validating per row.
+            table = Table.from_counts(
+                table.schema,
+                {row: count for row, count in corrected.items() if count > 0},
+            )
             self._count("patched_answers")
         # Move-to-end on *every* hit, not just after a non-empty gap: the
         # insertion-ordered dict doubles as the recency order, so an

@@ -25,6 +25,7 @@ from .testbed import (
     build_sharded_testbed,
     build_testbed,
 )
+from .wallclock import run_wallclock_ablation
 
 __all__ = [
     "FigureResult",
@@ -49,4 +50,5 @@ __all__ = [
     "run_sharding_ablation",
     "run_snapshot_cache_ablation",
     "run_starvation_study",
+    "run_wallclock_ablation",
 ]

@@ -33,6 +33,12 @@ class FigureResult:
     points: list[SeriesPoint] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
     consistent: bool = True
+    #: what the numbers are measured in: ``"virtual"`` (cost-model
+    #: seconds — deterministic, regression-checked exactly), ``"wall"``
+    #: (``time.perf_counter`` seconds — jittery, regression-checked
+    #: against a generous tolerance band) or ``None`` (legacy figures,
+    #: checked with the guard's default tolerance)
+    timebase: str | None = None
 
     def add(self, x, **values: float) -> None:
         self.points.append(SeriesPoint(x, dict(values)))
@@ -74,22 +80,21 @@ class FigureResult:
         """The figure as a machine-readable JSON document (the CI
         artifact format; keys sorted so baseline diffs are stable
         regardless of insertion order, points in series order)."""
-        return json.dumps(
-            {
-                "figure_id": self.figure_id,
-                "title": self.title,
-                "x_label": self.x_label,
-                "series_names": list(self.series_names),
-                "points": [
-                    {"x": point.x, "values": point.values}
-                    for point in self.points
-                ],
-                "notes": list(self.notes),
-                "consistent": self.consistent,
-            },
-            indent=indent,
-            sort_keys=True,
-        )
+        document = {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "series_names": list(self.series_names),
+            "points": [
+                {"x": point.x, "values": point.values}
+                for point in self.points
+            ],
+            "notes": list(self.notes),
+            "consistent": self.consistent,
+        }
+        if self.timebase is not None:
+            document["timebase"] = self.timebase
+        return json.dumps(document, indent=indent, sort_keys=True)
 
     def print(self) -> None:  # pragma: no cover - console convenience
         print(self.table())

@@ -47,6 +47,8 @@ Interaction with the rest of the stack:
 
 from __future__ import annotations
 
+import operator
+from collections import Counter
 from dataclasses import dataclass
 
 from ..relational.delta import Delta
@@ -310,6 +312,21 @@ class SelfMaintenanceStore:
         return restored
 
 
+def _projector(indexes: list[int]):
+    """Row projector over column positions at C speed.
+
+    ``operator.itemgetter`` with a single position returns a scalar,
+    and with none it cannot be built at all — both cases must still
+    yield tuples to stay rows.
+    """
+    if not indexes:
+        return lambda row: ()
+    if len(indexes) == 1:
+        index = indexes[0]
+        return lambda row: (row[index],)
+    return operator.itemgetter(*indexes)
+
+
 def _project_table(
     table: Table,
     schema: RelationSchema,
@@ -317,14 +334,17 @@ def _project_table(
     relation: str,
 ) -> Table:
     """Project ``table`` onto ``columns`` (bag semantics preserved)."""
-    indexes = [schema.index_of(name) for name in columns]
+    project = _projector([schema.index_of(name) for name in columns])
     projected_schema = RelationSchema(
         relation, tuple(schema.attribute(name) for name in columns)
     )
-    projected = Table(projected_schema)
+    counts: Counter = Counter()
+    get = counts.get
     for row, count in table.items():
-        projected.insert(tuple(row[i] for i in indexes), count)
-    return projected
+        key = project(row)
+        counts[key] = get(key, 0) + count
+    # Values came out of a validated table; adopt the bag wholesale.
+    return Table.from_counts(projected_schema, counts)
 
 
 def _project_delta(
@@ -332,6 +352,6 @@ def _project_delta(
 ) -> None:
     """Sign-merge ``delta`` projected onto ``columns`` into ``into``."""
     schema = delta.schema
-    indexes = [schema.index_of(name) for name in columns]
+    project = _projector([schema.index_of(name) for name in columns])
     for row, count in delta.items():
-        into.add(tuple(row[i] for i in indexes), count)
+        into.add(project(row), count)

@@ -22,7 +22,20 @@ from .errors import (
     UnknownAttributeError,
     UnknownRelationError,
 )
-from .executor import execute
+from .executor import (
+    execute,
+    execute_naive,
+    executor_mode,
+    set_executor_mode,
+)
+from .plan import (
+    CompiledPlan,
+    PlanCache,
+    clear_plan_cache,
+    compile_plan,
+    execute_compiled,
+    plan_cache_stats,
+)
 from .predicate import (
     TRUE,
     AttrComparison,
@@ -36,6 +49,13 @@ from .predicate import (
     conjunction,
 )
 from .query import JoinCondition, RelationRef, SPJQuery
+from .rows import (
+    clear_pool,
+    intern_row,
+    interning_enabled,
+    pool_stats,
+    set_interning,
+)
 from .schema import Attribute, RelationSchema
 from .sql import parse_query, parse_view
 from .table import Table
@@ -50,6 +70,7 @@ __all__ = [
     "AttributeType",
     "Catalog",
     "Comparison",
+    "CompiledPlan",
     "Conjunction",
     "DataError",
     "Delta",
@@ -58,6 +79,7 @@ __all__ = [
     "InPredicate",
     "JoinCondition",
     "Negation",
+    "PlanCache",
     "Predicate",
     "QueryError",
     "RelationRef",
@@ -74,8 +96,20 @@ __all__ = [
     "UnknownRelationError",
     "Value",
     "attr",
+    "clear_plan_cache",
+    "clear_pool",
+    "compile_plan",
     "conjunction",
     "execute",
+    "execute_compiled",
+    "execute_naive",
+    "executor_mode",
+    "intern_row",
+    "interning_enabled",
     "parse_query",
     "parse_view",
+    "plan_cache_stats",
+    "pool_stats",
+    "set_executor_mode",
+    "set_interning",
 ]

@@ -17,6 +17,7 @@ from collections import Counter
 from typing import Iterable, Iterator
 
 from .errors import ArityError
+from .rows import intern_row
 from .schema import RelationSchema
 
 Row = tuple
@@ -74,7 +75,11 @@ class Delta:
             )
         if count == 0:
             return
-        row = tuple(row)
+        # Intern through the shared row pool: the same distinct row
+        # recurs across deltas, cache patches, journal replays and shard
+        # replicas, and an identical object makes every downstream dict
+        # lookup an identity hit.
+        row = intern_row(tuple(row))
         new_count = self._counts[row] + count
         if new_count == 0:
             del self._counts[row]

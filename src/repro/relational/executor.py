@@ -37,14 +37,24 @@ class _Intermediate:
 
     columns: list[AttrRef]
     rows: Counter
+    #: lazy memo: attribute name -> every column position carrying it
+    #: (unqualified-ref resolution used to re-scan ``columns`` per call)
+    _by_name: dict[str, list[int]] | None = None
+    #: lazy memo: qualified column -> position (``columns.index`` is an
+    #: O(columns) linear scan per reference otherwise)
+    _positions: dict[AttrRef, int] | None = None
+
+    def positions_by_name(self) -> dict[str, list[int]]:
+        if self._by_name is None:
+            by_name: dict[str, list[int]] = {}
+            for index, column in enumerate(self.columns):
+                by_name.setdefault(column.name, []).append(index)
+            self._by_name = by_name
+        return self._by_name
 
     def index_of(self, ref: AttrRef) -> int:
         if ref.relation is None:
-            matches = [
-                index
-                for index, column in enumerate(self.columns)
-                if column.name == ref.name
-            ]
+            matches = self.positions_by_name().get(ref.name, ())
             if not matches:
                 raise UnknownAttributeError(ref.name)
             if len(matches) > 1:
@@ -52,10 +62,15 @@ class _Intermediate:
                     f"attribute {ref.name!r} is ambiguous"
                 )
             return matches[0]
-        try:
-            return self.columns.index(ref)
-        except ValueError:
-            raise UnknownAttributeError(ref.name, ref.relation) from None
+        if self._positions is None:
+            self._positions = {
+                column: index
+                for index, column in enumerate(self.columns)
+            }
+        position = self._positions.get(ref)
+        if position is None:
+            raise UnknownAttributeError(ref.name, ref.relation)
+        return position
 
 
 def _single_alias_conjuncts(
@@ -222,7 +237,7 @@ def _hash_join(
 
 def _result_schema(
     query: SPJQuery,
-    tables: dict[str, Table],
+    schemas: dict[str, RelationSchema],
     projection_columns: list[AttrRef],
 ) -> RelationSchema:
     """Derive the output schema, qualifying names only on collision."""
@@ -230,8 +245,8 @@ def _result_schema(
     attributes: list[Attribute] = []
     used: set[str] = set()
     for column in projection_columns:
-        table = tables[column.relation]  # resolved refs are qualified
-        attribute = table.schema.attribute(column.name)
+        schema = schemas[column.relation]  # resolved refs are qualified
+        attribute = schema.attribute(column.name)
         if names.count(column.name) > 1:
             attribute = attribute.renamed(f"{column.relation}_{column.name}")
         if attribute.name in used:
@@ -247,6 +262,44 @@ def _result_schema(
 def execute(query: SPJQuery, tables: dict[str, Table]) -> Table:
     """Evaluate ``query`` with each alias bound to a table.
 
+    Dispatches to the active executor: the compiled/columnar kernel
+    (:mod:`repro.relational.plan`, the default) or this module's naive
+    row-at-a-time evaluator (:func:`execute_naive`, the semantic
+    oracle).  Both raise identical schema errors and return identical
+    bags — proven by ``tests/property/test_executor_equivalence.py``.
+    """
+    if _executor_mode == "compiled":
+        from .plan import execute_compiled
+
+        return execute_compiled(query, tables)
+    return execute_naive(query, tables)
+
+
+_executor_mode = "compiled"
+
+
+def set_executor_mode(mode: str) -> None:
+    """Select the evaluator behind :func:`execute`.
+
+    ``"compiled"`` (default) uses the plan-compiling columnar kernel;
+    ``"naive"`` the original row-at-a-time evaluator.  Virtual-clock
+    costs are charged by the simulation layer from the cost model, so
+    the mode can never perturb simulated results — only wall time.
+    """
+    global _executor_mode
+    if mode not in ("compiled", "naive"):
+        raise ValueError(f"unknown executor mode {mode!r}")
+    _executor_mode = mode
+
+
+def executor_mode() -> str:
+    return _executor_mode
+
+
+def execute_naive(query: SPJQuery, tables: dict[str, Table]) -> Table:
+    """The reference evaluator: straightforward, per-row, uncompiled.
+
+    Kept verbatim as the oracle the compiled kernel is proven against.
     Raises :class:`UnknownAttributeError` /
     :class:`~repro.relational.errors.UnknownRelationError`-style schema
     errors when the bound tables no longer provide what the query asks
@@ -313,7 +366,11 @@ def execute(query: SPJQuery, tables: dict[str, Table]) -> Table:
         for ref in query.projection
     ]
     positions = [intermediate.index_of(ref) for ref in query.projection]
-    schema = _result_schema(query, tables, projection_columns)
+    schema = _result_schema(
+        query,
+        {alias: table.schema for alias, table in tables.items()},
+        projection_columns,
+    )
     result = Table(schema)
     for row, count in intermediate.rows.items():
         projected = tuple(row[position] for position in positions)

@@ -11,13 +11,21 @@ source drops an attribute, every stored row is projected accordingly.
 
 from __future__ import annotations
 
+import itertools
 from collections import Counter
 from typing import Iterable, Iterator
 
 from .delta import Delta, Row
 from .errors import ArityError, DataError
+from .rows import intern_row
 from .schema import Attribute, RelationSchema
 from .types import Value
+
+#: global monotone schema-epoch sequence; every (table, schema version)
+#: pair gets a unique stamp, so compiled-plan caches keyed by epoch are
+#: invalidated by *any* physical schema change (and never collide
+#: across tables)
+_EPOCHS = itertools.count(1)
 
 
 class Table:
@@ -28,10 +36,12 @@ class Table:
     date incrementally by inserts/deletes and discarded by physical
     schema changes.  The executor uses probes to answer IN-list
     maintenance queries without scanning (the "indexed probe" the cost
-    model assumes).
+    model assumes).  Each index stores the attribute's column position
+    at build time, so per-row maintenance never re-resolves the
+    attribute name against the schema.
     """
 
-    __slots__ = ("schema", "_counts", "_indexes")
+    __slots__ = ("schema", "_counts", "_indexes", "_schema_epoch")
 
     def __init__(
         self,
@@ -40,9 +50,27 @@ class Table:
     ) -> None:
         self.schema = schema
         self._counts: Counter[Row] = Counter()
-        self._indexes: dict[str, dict] = {}
+        #: attribute name -> (column position, value -> set of rows)
+        self._indexes: dict[str, tuple[int, dict]] = {}
+        self._schema_epoch = next(_EPOCHS)
         for row in rows:
             self.insert(row)
+
+    @classmethod
+    def from_counts(cls, schema: RelationSchema, counts) -> "Table":
+        """Trusted bulk constructor: adopt pre-validated ``(row, count)``
+        multiplicities without per-row type validation.
+
+        The compiled executor, the snapshot cache's patch path and the
+        self-maintenance replicas all produce rows that *came out of*
+        validated tables; re-validating every value on the way back in
+        is pure per-row overhead.  Counts must be positive.
+        """
+        table = cls(schema)
+        table._counts = (
+            counts if isinstance(counts, Counter) else Counter(counts)
+        )
+        return table
 
     # ------------------------------------------------------------------
     # data manipulation
@@ -54,9 +82,11 @@ class Table:
                 f"row of width {len(row)} does not match relation "
                 f"{self.schema.name!r} of arity {self.schema.arity}"
             )
-        return tuple(
-            attribute.type.validate(value)
-            for attribute, value in zip(self.schema.attributes, row)
+        return intern_row(
+            tuple(
+                attribute.type.validate(value)
+                for attribute, value in zip(self.schema.attributes, row)
+            )
         )
 
     def insert(self, row: Row, count: int = 1) -> None:
@@ -65,9 +95,8 @@ class Table:
             raise DataError(f"insert count must be positive, got {count}")
         row = self._validated(row)
         self._counts[row] += count
-        for attribute_name, index in self._indexes.items():
-            position = self.schema.index_of(attribute_name)
-            index.setdefault(row[position], set()).add(row)
+        for position, buckets in self._indexes.values():
+            buckets.setdefault(row[position], set()).add(row)
 
     def delete(self, row: Row, count: int = 1) -> None:
         """Delete ``count`` copies of ``row``; raise if not present."""
@@ -82,9 +111,8 @@ class Table:
             )
         if present == count:
             del self._counts[row]
-            for attribute_name, index in self._indexes.items():
-                position = self.schema.index_of(attribute_name)
-                bucket = index.get(row[position])
+            for position, buckets in self._indexes.values():
+                bucket = buckets.get(row[position])
                 if bucket is not None:
                     bucket.discard(row)
         else:
@@ -140,6 +168,17 @@ class Table:
     def rows(self) -> list[Row]:
         return list(self)
 
+    @property
+    def schema_epoch(self) -> int:
+        """Monotone stamp identifying this table's current physical
+        schema version.  Bumped by every schema mutation
+        (:meth:`rename_attribute`, :meth:`drop_attribute`,
+        :meth:`add_attribute`) — the compiled-plan cache invalidation
+        rule: a plan is valid exactly as long as every bound table
+        keeps its epoch.
+        """
+        return self._schema_epoch
+
     def as_delta(self) -> Delta:
         """The whole extent as an insertion delta."""
         delta = Delta(self.schema)
@@ -153,16 +192,18 @@ class Table:
         Builds (and thereafter incrementally maintains) a hash index on
         the attribute.  Yields ``(row, count)`` pairs.
         """
-        index = self._indexes.get(attribute_name)
-        if index is None:
+        entry = self._indexes.get(attribute_name)
+        if entry is None:
             position = self.schema.index_of(attribute_name)
-            index = {}
+            buckets: dict = {}
             for row in self._counts:
-                index.setdefault(row[position], set()).add(row)
-            self._indexes[attribute_name] = index
+                buckets.setdefault(row[position], set()).add(row)
+            entry = (position, buckets)
+            self._indexes[attribute_name] = entry
+        counts = self._counts
         for value in values:
-            for row in index.get(value, ()):
-                count = self._counts.get(row, 0)
+            for row in entry[1].get(value, ()):
+                count = counts.get(row, 0)
                 if count:
                     yield row, count
 
@@ -200,6 +241,7 @@ class Table:
     def rename_attribute(self, old: str, new: str) -> None:
         """In-place attribute rename; rows are untouched."""
         self.schema = self.schema.rename_attribute(old, new)
+        self._schema_epoch = next(_EPOCHS)
         if old in self._indexes:
             self._indexes[new] = self._indexes.pop(old)
 
@@ -207,6 +249,7 @@ class Table:
         """Drop the attribute and project every stored row."""
         index = self.schema.index_of(attribute_name)
         self.schema = self.schema.drop_attribute(attribute_name)
+        self._schema_epoch = next(_EPOCHS)
         projected: Counter[Row] = Counter()
         for row, count in self._counts.items():
             projected[row[:index] + row[index + 1 :]] += count
@@ -219,6 +262,7 @@ class Table:
         """Append the attribute, filling existing rows with ``default``."""
         default = attribute.type.validate(default)
         self.schema = self.schema.add_attribute(attribute)
+        self._schema_epoch = next(_EPOCHS)
         extended: Counter[Row] = Counter()
         for row, count in self._counts.items():
             extended[row + (default,)] += count

@@ -1,0 +1,228 @@
+"""Compiled kernel vs naive executor over random queries (hypothesis).
+
+The compiled/columnar kernel (:mod:`repro.relational.plan`) must be a
+*drop-in* replacement for the naive evaluator: identical bags, identical
+result-schema names, and — when a query dangles after a schema change —
+the identical exception class.  These properties drive random SPJ
+queries (joins, pushdown-able and residual selections, IN-lists,
+unqualified and dangling references) over bag tables with duplicates
+and NULLs, then keep checking equivalence as signed deltas and
+drop/rename schema changes mutate the tables underneath the plan cache.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.delta import Delta
+from repro.relational.errors import RelationalError
+from repro.relational.executor import execute_naive
+from repro.relational.plan import execute_compiled
+from repro.relational.predicate import (
+    AttrComparison,
+    Comparison,
+    InPredicate,
+    attr,
+    conjunction,
+)
+from repro.relational.query import JoinCondition, RelationRef, SPJQuery
+from repro.relational.schema import RelationSchema
+from repro.relational.table import Table
+from repro.relational.types import AttributeType
+
+R = RelationSchema.of(
+    "R", [("k", AttributeType.INT), "a", ("b", AttributeType.FLOAT)]
+)
+S = RelationSchema.of("S", [("k", AttributeType.INT), "c"])
+T = RelationSchema.of("T", [("j", AttributeType.INT), "d"])
+
+key = st.one_of(st.integers(min_value=0, max_value=3), st.none())
+word = st.one_of(st.sampled_from(["p", "q", "r"]), st.none())
+price = st.one_of(st.sampled_from([0.5, 1.5, 2.5]), st.none())
+
+# Duplicates matter: draw few distinct values over up to 10 rows so the
+# same tuple recurs with multiplicity > 1.
+r_rows = st.lists(st.tuples(key, word, price), max_size=10)
+s_rows = st.lists(st.tuples(key, word), max_size=10)
+t_rows = st.lists(st.tuples(key, word), max_size=10)
+
+
+def _selection(kind: int, threshold):
+    if kind == 0:
+        return conjunction([])
+    if kind == 1:
+        return Comparison(attr("R", "k"), ">=", threshold)
+    if kind == 2:
+        return conjunction(
+            [
+                Comparison(attr("R", "k"), ">=", threshold),
+                InPredicate(attr("S", "k"), frozenset({0, 1, threshold})),
+            ]
+        )
+    if kind == 3:  # residual multi-relation term
+        return AttrComparison(attr("R", "k"), "<=", attr("T", "j"))
+    if kind == 4:  # unqualified reference (unique: only R has "a")
+        return Comparison(attr("a"), "=", "p")
+    # dangling reference — both executors must raise the same class
+    return Comparison(attr("R", "missing"), "=", 1)
+
+
+def _projection(kind: int):
+    if kind == 0:
+        return (attr("R", "a"), attr("S", "c"), attr("T", "d"))
+    if kind == 1:  # unqualified but unique names
+        return (attr("b"), attr("R", "k"))
+    if kind == 2:  # ambiguous unqualified name ("k" is in R and S)
+        return (attr("k"),)
+    # dangling projection
+    return (attr("T", "gone"),)
+
+
+def _query(selection_kind: int, projection_kind: int, threshold: int):
+    return SPJQuery(
+        relations=(
+            RelationRef("s", "R", "R"),
+            RelationRef("s", "S", "S"),
+            RelationRef("s", "T", "T"),
+        ),
+        projection=_projection(projection_kind),
+        joins=(
+            JoinCondition(attr("R", "k"), attr("S", "k")),
+            JoinCondition(attr("S", "k"), attr("T", "j")),
+        ),
+        selection=_selection(selection_kind, threshold),
+    )
+
+
+def _outcome(executor, query, tables):
+    """Result bag + schema names, or the raised exception class."""
+    try:
+        table = executor(query, tables)
+    except RelationalError as error:
+        return ("raised", type(error).__name__)
+    return (
+        "ok",
+        Counter(dict(table.items())),
+        tuple(table.schema.attribute_names),
+    )
+
+
+def assert_equivalent(query, tables):
+    naive = _outcome(execute_naive, query, tables)
+    compiled = _outcome(execute_compiled, query, tables)
+    assert naive == compiled
+
+
+@given(
+    r_rows,
+    s_rows,
+    t_rows,
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=120, deadline=None)
+def test_random_queries_equivalent(
+    r_data, s_data, t_data, selection_kind, projection_kind, threshold
+):
+    tables = {
+        "R": Table(R, r_data),
+        "S": Table(S, s_data),
+        "T": Table(T, t_data),
+    }
+    query = _query(selection_kind, projection_kind, threshold)
+    assert_equivalent(query, tables)
+
+
+@given(
+    r_rows,
+    s_rows,
+    r_rows,
+    st.data(),
+    st.integers(min_value=0, max_value=4),
+)
+@settings(max_examples=80, deadline=None)
+def test_equivalence_survives_signed_deltas(
+    r_data, s_data, extra_rows, data, selection_kind
+):
+    """Apply a signed delta (deletes of resident rows + fresh inserts)
+    and re-check: the cached plan must see the new extent."""
+    tables = {
+        "R": Table(R, r_data),
+        "S": Table(S, s_data),
+        "T": Table(T, []),
+    }
+    query = _query(selection_kind, 0, 1)
+    assert_equivalent(query, tables)
+
+    target = tables["R"]
+    delta = Delta(target.schema)
+    resident = list(target.items())
+    if resident:
+        victims = data.draw(
+            st.lists(
+                st.sampled_from(resident), max_size=len(resident)
+            )
+        )
+        for row, count in set(victims):
+            if delta.count(row) > -count:
+                delta.add(row, -1)
+    for row in extra_rows:
+        delta.add(row, 1)
+    target.apply_delta(delta)
+    assert_equivalent(query, tables)
+
+
+@given(
+    r_rows,
+    s_rows,
+    t_rows,
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=3),
+    st.sampled_from(
+        [
+            ("drop", "R", "a"),
+            ("drop", "S", "c"),
+            ("drop", "R", "k"),
+            ("rename", "T", "d", "dd"),
+            ("rename", "R", "a", "a2"),
+        ]
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_equivalence_survives_schema_changes(
+    r_data, s_data, t_data, selection_kind, projection_kind, change
+):
+    """Drop/rename an attribute under a cached plan: both executors must
+    agree afterwards — on the new result *or* on the exception class
+    (dangling references are the broken-query anomaly's raw material)."""
+    tables = {
+        "R": Table(R, r_data),
+        "S": Table(S, s_data),
+        "T": Table(T, t_data),
+    }
+    query = _query(selection_kind, projection_kind, 1)
+    assert_equivalent(query, tables)  # populate the plan cache
+
+    if change[0] == "drop":
+        tables[change[1]].drop_attribute(change[2])
+    else:
+        tables[change[1]].rename_attribute(change[2], change[3])
+    assert_equivalent(query, tables)
+
+
+@pytest.mark.parametrize("projection_kind", [2, 3])
+def test_error_classes_match_exactly(projection_kind):
+    """The canonical dangling/ambiguous cases raise identical classes."""
+    tables = {
+        "R": Table(R, [(1, "p", 0.5)]),
+        "S": Table(S, [(1, "q")]),
+        "T": Table(T, [(1, "r")]),
+    }
+    query = _query(0, projection_kind, 1)
+    naive = _outcome(execute_naive, query, tables)
+    compiled = _outcome(execute_compiled, query, tables)
+    assert naive[0] == "raised"
+    assert naive == compiled

@@ -1,0 +1,218 @@
+"""Compiled plan cache, row interning, and index-maintenance mechanics."""
+
+from collections import Counter
+
+import pytest
+
+from repro.relational import rows as rowpool
+from repro.relational.errors import DataError
+from repro.relational.plan import (
+    PLAN_CACHE,
+    PlanCache,
+    clear_plan_cache,
+    compile_plan,
+    execute_compiled,
+    plan_cache_stats,
+)
+from repro.relational.predicate import Comparison, InPredicate, attr
+from repro.relational.query import JoinCondition, RelationRef, SPJQuery
+from repro.relational.schema import RelationSchema
+from repro.relational.table import Table
+from repro.relational.types import AttributeType
+
+R = RelationSchema.of("R", [("k", AttributeType.INT), "a"])
+S = RelationSchema.of("S", [("k", AttributeType.INT), "c"])
+
+
+def two_way_query(threshold: int = 0) -> SPJQuery:
+    return SPJQuery(
+        relations=(RelationRef("s", "R", "R"), RelationRef("s", "S", "S")),
+        projection=(attr("R", "a"), attr("S", "c")),
+        joins=(JoinCondition(attr("R", "k"), attr("S", "k")),),
+        selection=Comparison(attr("R", "k"), ">=", threshold),
+    )
+
+
+def tables():
+    return {
+        "R": Table(R, [(1, "p"), (2, "q"), (2, "q")]),
+        "S": Table(S, [(1, "x"), (2, "y")]),
+    }
+
+
+class TestPlanCache:
+    def test_same_query_and_schemas_reuse_the_compiled_plan(self):
+        clear_plan_cache()
+        bound = tables()
+        query = two_way_query()
+        before = plan_cache_stats()
+        execute_compiled(query, bound)
+        first = dict(PLAN_CACHE._plans)
+        execute_compiled(query, bound)
+        stats = plan_cache_stats()
+        assert stats["plans"] == 1
+        assert stats["hits"] == before["hits"] + 1
+        # identity, not just equality: the plan object is reused
+        assert list(PLAN_CACHE._plans.values()) == list(first.values())
+
+    def test_equal_schemas_share_plans_across_table_objects(self):
+        clear_plan_cache()
+        query = two_way_query()
+        before = plan_cache_stats()
+        execute_compiled(query, tables())
+        execute_compiled(query, tables())  # fresh Table objects, same schemas
+        stats = plan_cache_stats()
+        assert stats["plans"] == 1
+        assert stats["hits"] == before["hits"] + 1
+        assert stats["misses"] == before["misses"] + 1
+
+    def test_schema_change_compiles_a_fresh_plan(self):
+        clear_plan_cache()
+        bound = tables()
+        query = two_way_query()
+        before = execute_compiled(query, bound)
+        assert sorted(before.rows()) == [("p", "x"), ("q", "y"), ("q", "y")]
+        misses_before = plan_cache_stats()["misses"]
+        epoch_before = bound["S"].schema_epoch
+        bound["S"].rename_attribute("c", "c2")
+        assert bound["S"].schema_epoch > epoch_before
+        # the old plan keys on the old schema object — a new one compiles
+        query2 = SPJQuery(
+            relations=query.relations,
+            projection=(attr("R", "a"), attr("S", "c2")),
+            joins=query.joins,
+            selection=query.selection,
+        )
+        after = execute_compiled(query2, bound)
+        assert sorted(after.rows()) == sorted(before.rows())
+        assert plan_cache_stats()["misses"] == misses_before + 1
+
+    def test_stale_plan_never_served_after_schema_change(self):
+        clear_plan_cache()
+        bound = tables()
+        query = two_way_query()
+        execute_compiled(query, bound)
+        bound["S"].drop_attribute("c")
+        # same query object, changed schema: recompiles (cache miss) and
+        # reports the dangling projection exactly like the naive oracle
+        from repro.relational.errors import UnknownAttributeError
+        from repro.relational.executor import execute_naive
+
+        with pytest.raises(UnknownAttributeError):
+            execute_compiled(query, bound)
+        with pytest.raises(UnknownAttributeError):
+            execute_naive(query, bound)
+
+    def test_lru_bound_evicts_oldest(self):
+        cache = PlanCache(max_plans=2)
+        bound = tables()
+        schemas = {alias: table.schema for alias, table in bound.items()}
+        for threshold in range(4):
+            cache.plan_for(two_way_query(threshold), bound)
+        assert len(cache) == 2
+        stats = cache.stats()
+        assert stats["evictions"] == 2
+        assert stats["misses"] == 4
+        # oldest (threshold=0) was evicted: fetching recompiles
+        cache.plan_for(two_way_query(0), bound)
+        assert cache.stats()["misses"] == 5
+        del schemas
+
+    def test_probe_path_used_for_small_in_lists(self):
+        clear_plan_cache()
+        big = Table(R, [(i % 50, "v") for i in range(200)])
+        bound = {"R": big}
+        query = SPJQuery(
+            relations=(RelationRef("s", "R", "R"),),
+            projection=(attr("R", "k"), attr("R", "a")),
+            selection=InPredicate(attr("R", "k"), frozenset({3})),
+        )
+        result = execute_compiled(query, bound)
+        assert big.has_index("k")  # the compiled scan probed the index
+        assert set(result.rows()) == {(3, "v")}
+        assert result.count((3, "v")) == 4
+
+
+class TestRowInterning:
+    def setup_method(self):
+        rowpool.clear_pool()
+
+    def test_equal_rows_become_identical_objects(self):
+        first = Table(R, [(1, "p")])
+        second = Table(R, [(1, "p")])
+        (row_a,) = first.rows()
+        (row_b,) = second.rows()
+        assert row_a is row_b
+
+    def test_type_twins_are_never_substituted(self):
+        F = RelationSchema.of("F", [("x", AttributeType.FLOAT)])
+        I = RelationSchema.of("I", [("x", AttributeType.INT)])
+        int_table = Table(I, [(1,)])
+        float_table = Table(F, [(1.0,)])
+        (int_row,) = int_table.rows()
+        (float_row,) = float_table.rows()
+        assert int_row == float_row  # Python: 1 == 1.0
+        assert type(int_row[0]) is int
+        assert type(float_row[0]) is float  # NOT the pooled int twin
+        assert rowpool.pool_stats()["type_conflicts"] >= 1
+
+    def test_pool_reset_keeps_correctness(self):
+        rowpool.set_pool_capacity(4)
+        try:
+            table = Table(R, [(i, "w") for i in range(20)])
+            assert sorted(table.rows()) == [(i, "w") for i in range(20)]
+            assert rowpool.pool_stats()["resets"] >= 1
+        finally:
+            rowpool.set_pool_capacity(rowpool.DEFAULT_POOL_CAPACITY)
+            rowpool.clear_pool()
+
+    def test_interning_can_be_disabled(self):
+        rowpool.set_interning(False)
+        try:
+            first = Table(R, [(7, "z")])
+            second = Table(R, [(7, "z")])
+            (row_a,) = first.rows()
+            (row_b,) = second.rows()
+            assert row_a == row_b
+            assert row_a is not row_b
+        finally:
+            rowpool.set_interning(True)
+
+
+class TestIndexMaintenance:
+    def test_mutations_do_not_rebind_attribute_positions(self, monkeypatch):
+        """insert/delete maintain indexes via the position stored at
+        build time — ``schema.index_of`` must not run per row."""
+        table = Table(R, [(i, "v") for i in range(10)])
+        list(table.probe("k", {1}))  # build the index (one index_of)
+        calls = []
+        original = RelationSchema.index_of
+
+        def counting(self, name):
+            calls.append(name)
+            return original(self, name)
+
+        monkeypatch.setattr(RelationSchema, "index_of", counting)
+        for i in range(10, 60):
+            table.insert((i, "w"))
+        for i in range(10, 30):
+            table.delete((i, "w"))
+        assert calls == []  # zero per-row resolutions
+        assert {row for row, _count in table.probe("k", {42})} == {
+            (42, "w")
+        }
+
+    def test_from_counts_adopts_counter(self):
+        counts = Counter({(1, "p"): 2, (2, "q"): 1})
+        table = Table.from_counts(R, counts)
+        assert table.count((1, "p")) == 2
+        assert len(table) == 3
+        # the probe index built on an adopted bag answers correctly
+        assert {row for row, _c in table.probe("k", {1})} == {(1, "p")}
+
+    def test_from_counts_wraps_plain_dicts(self):
+        table = Table.from_counts(R, {(5, "z"): 3})
+        table.insert((5, "z"))  # Counter semantics must survive adoption
+        assert table.count((5, "z")) == 4
+        with pytest.raises(DataError):
+            table.delete((5, "z"), 9)

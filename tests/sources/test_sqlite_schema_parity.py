@@ -9,10 +9,16 @@ identical change to an in-memory :class:`DataSource` twin and asserts
 both backends agree query-by-query: same answers where the query still
 parses against the live schema, and :class:`BrokenQueryError` from both
 (never just one) where it does not.
+
+The whole module runs twice — once per relational executor (the naive
+oracle and the compiled/columnar kernel) — because the in-memory twin
+answers through :func:`repro.relational.execute`: backend parity must
+hold regardless of which evaluator is active.
 """
 
 import pytest
 
+from repro.relational.executor import executor_mode, set_executor_mode
 from repro.relational.predicate import attr
 from repro.relational.query import RelationRef, SPJQuery
 from repro.relational.schema import RelationSchema
@@ -36,6 +42,15 @@ ITEM = RelationSchema.of(
     ],
 )
 ROWS = [(1, "Databases", 50.0), (2, "Compilers", 40.0)]
+
+
+@pytest.fixture(autouse=True, params=["naive", "compiled"])
+def each_executor(request):
+    """Run every parity test under both relational executors."""
+    previous = executor_mode()
+    set_executor_mode(request.param)
+    yield request.param
+    set_executor_mode(previous)
 
 
 def twins():
