@@ -48,6 +48,18 @@ RESULTS_DIR = BENCH_DIR / "results"
 BASELINES_DIR = BENCH_DIR / "baselines"
 TRAJECTORY_PATH = BENCH_DIR.parent / "BENCH_ablations.json"
 
+#: repo-root wall-clock lane summaries folded into the trajectory (each
+#: wraps its figure under a ``"figure"`` key; produced by the
+#: bench_wallclock.py / bench_runtime.py CLIs).  Their figure JSONs in
+#: ``results/`` are ALSO guarded per-figure against ``baselines/`` at
+#: the ``--wall-tolerance`` band (their ``timebase: wall`` marker picks
+#: the band); this list only consolidates the summaries' trajectory
+#: records.
+WALL_SUMMARY_PATHS = (
+    BENCH_DIR.parent / "BENCH_wallclock.json",
+    BENCH_DIR.parent / "BENCH_runtime.json",
+)
+
 
 class BaselineError(Exception):
     """A baseline (or its fresh result) cannot be read — fail the
@@ -160,28 +172,52 @@ def write_trajectory(results_dir: Path, output_path: Path) -> int:
     """
     commit = _current_commit()
     records = []
-    for result_path in sorted(results_dir.glob("abl-*.json")):
-        figure = _load(result_path)
+
+    def record_of(name: str, figure: dict) -> dict | None:
         points = figure.get("points", [])
         if not points:
-            continue
+            return None
         speedups = _speedup_series(figure)
         series_names = figure.get("series_names", [])
         key = speedups[0] if speedups else (
             series_names[-1] if series_names else None
         )
         heaviest = points[-1]
-        records.append(
-            {
-                "name": result_path.stem,
-                "figure_id": figure.get("figure_id", result_path.stem),
-                "key_metric": key,
-                "value": heaviest["values"].get(key),
-                "x": heaviest["x"],
-                "consistent": figure.get("consistent", True),
-                "commit": commit,
-            }
-        )
+        entry = {
+            "name": name,
+            "figure_id": figure.get("figure_id", name),
+            "key_metric": key,
+            "value": heaviest["values"].get(key),
+            "x": heaviest["x"],
+            "consistent": figure.get("consistent", True),
+            "commit": commit,
+        }
+        if figure.get("timebase") is not None:
+            entry["timebase"] = figure["timebase"]
+        return entry
+
+    for result_path in sorted(results_dir.glob("abl-*.json")):
+        entry = record_of(result_path.stem, _load(result_path))
+        if entry is not None:
+            records.append(entry)
+    # Wall-clock lane summaries live at the repo root, outside the
+    # results glob; fold their wrapped figures in so the trajectory
+    # covers every lane (skipping any figure the glob already saw —
+    # the CLIs write both the per-figure JSON and the summary).
+    seen = {entry["figure_id"] for entry in records}
+    for summary_path in WALL_SUMMARY_PATHS:
+        if not summary_path.exists():
+            continue
+        figure = _load(summary_path).get("figure")
+        if not isinstance(figure, dict):
+            raise BaselineError(
+                f"{summary_path}: summary lacks a 'figure' object"
+            )
+        if figure.get("figure_id") in seen:
+            continue
+        entry = record_of(summary_path.stem, figure)
+        if entry is not None:
+            records.append(entry)
     output_path.write_text(
         json.dumps({"ablations": records}, indent=2, sort_keys=True)
         + "\n"

@@ -814,11 +814,13 @@ class ParallelScheduler(DynoScheduler):
     # the event loop
     # ------------------------------------------------------------------
 
-    def step(self) -> bool:
+    def _step_impl(self) -> bool:
         """Dispatch what is ready, then advance to the next event.
 
         Returns ``False`` at quiescence (nothing running, nothing
-        queued and dispatchable, nothing scheduled)."""
+        queued and dispatchable, nothing scheduled).  Invoked through
+        the base class's :meth:`~repro.core.scheduler.DynoScheduler
+        .step`, which wraps every step with plan-cache accounting."""
         self._sync_fault_stats()
         self._lift_due_quarantines()
         progressed = self._dispatch_round() > 0

@@ -593,7 +593,25 @@ class DynoScheduler:
         scheduled).  Useful for driving the system incrementally —
         monitoring dashboards, interleaved test assertions — instead of
         running to completion.
+
+        The public entry wraps the strategy-specific ``_step_impl``
+        with plan-cache accounting: the process-global compiled-plan
+        cache's hit/miss/eviction deltas across the step are harvested
+        into this scheduler's metrics, so interleaved multi-shard runs
+        attribute kernel cache efficiency to the shard that stepped.
         """
+        from ..relational.plan import PLAN_CACHE
+
+        before = (PLAN_CACHE.hits, PLAN_CACHE.misses, PLAN_CACHE.evictions)
+        try:
+            return self._step_impl()
+        finally:
+            metrics = self.manager.metrics
+            metrics.plan_cache_hits += PLAN_CACHE.hits - before[0]
+            metrics.plan_cache_recompiles += PLAN_CACHE.misses - before[1]
+            metrics.plan_cache_evictions += PLAN_CACHE.evictions - before[2]
+
+    def _step_impl(self) -> bool:
         metrics = self.manager.metrics
         cost = self.manager.cost
         self._sync_fault_stats()

@@ -151,6 +151,105 @@ class ShardRouter:
         return accept
 
 
+def step_shard(shard: "Shard") -> None:
+    """Step one shard once, recovering crashes from its own journal.
+
+    Shared by the inline coordinator (:meth:`ShardedWarehouse.run`) and
+    the process runtime's workers (:mod:`repro.core.runtime`), so both
+    execute byte-identical per-shard work: a
+    :class:`~repro.recovery.SchedulerCrash` raised mid-step tears the
+    shard's warehouse down, replays checkpoint + journal (idempotently,
+    so a crash during recovery is also safe) and swaps the rebuilt
+    manager/scheduler/harness into the shard in place.
+    """
+    from ..recovery import SchedulerCrash, simulate_crash
+
+    try:
+        shard.scheduler.step()
+    except SchedulerCrash:
+        if shard.recovery is None:
+            raise
+        while True:
+            simulate_crash(shard.engine)
+            try:
+                recovered = shard.recovery.recover()
+                break
+            except SchedulerCrash:
+                # Crashed during recovery: idempotent replay makes a
+                # second attempt from the same durable state safe.
+                continue
+        shard.manager = recovered.manager
+        shard.scheduler = recovered.scheduler
+        shard.recovery = recovered.harness
+        shard.crash_reports.append(recovered.report)
+
+
+def shard_quiescent(shard: "Shard") -> bool:
+    """Nothing queued, nothing scheduled, nothing in flight."""
+    scheduler = shard.scheduler
+    if scheduler.stats.iterations >= scheduler.max_iterations:
+        return True  # runaway guard, same contract as run()
+    if not scheduler.umq.is_empty():
+        return False
+    if shard.engine.next_event_time() is not None:
+        return False
+    pool = getattr(scheduler, "pool", None)
+    return pool is None or not pool.any_busy
+
+
+def sc_barrier_time(shard: "Shard") -> float | None:
+    """Commit time of the head unit's earliest schema change, or
+    ``None`` when the head is not SC-bearing."""
+    scheduler = shard.scheduler
+    if scheduler.umq.is_empty():
+        return None
+    head = scheduler.umq.head()
+    if not head.has_schema_change:
+        return None
+    return min(
+        message.committed_at
+        for message in head.messages
+        if message.is_schema_change
+    )
+
+
+def min_pending_commit(shard: "Shard") -> float | None:
+    """Earliest commit time this shard still holds un-maintained:
+    queued UMQ messages plus the wrappers' committed-but-undelivered
+    stream.  ``None`` when the shard holds nothing."""
+    commits = [
+        message.committed_at
+        for message in shard.scheduler.umq.messages()
+    ]
+    commits.extend(
+        message.committed_at
+        for wrapper in shard.manager.wrappers
+        for message in wrapper.pending_messages()
+    )
+    return min(commits) if commits else None
+
+
+def shard_blocks_barrier(shard: "Shard", barrier_at: float) -> bool:
+    """Does this shard (as a *peer*) still hold maintenance committed
+    before a schema change at ``barrier_at``?
+
+    Checks the shard's queued units and wrapper backlog (via
+    :func:`min_pending_commit`), its in-flight parallel dispatches, and
+    — conservatively — whether its clock could still reach a commit
+    before the barrier time.
+    """
+    pending = min_pending_commit(shard)
+    if pending is not None and pending < barrier_at:
+        return True
+    pool = getattr(shard.scheduler, "pool", None)
+    if pool is not None and pool.any_busy:
+        return True
+    return (
+        shard.engine.clock.now < barrier_at
+        and shard.engine.next_event_time() is not None
+    )
+
+
 @dataclass
 class Shard:
     """One scheduler shard: a full warehouse world for a view subset.
@@ -255,83 +354,27 @@ class ShardedWarehouse:
             shard.scheduler.finish()
 
     def _step(self, shard: Shard) -> None:
-        from ..recovery import SchedulerCrash, simulate_crash
-
-        try:
-            shard.scheduler.step()
-        except SchedulerCrash:
-            if shard.recovery is None:
-                raise
-            while True:
-                simulate_crash(shard.engine)
-                try:
-                    recovered = shard.recovery.recover()
-                    break
-                except SchedulerCrash:
-                    # Crashed during recovery: idempotent replay makes a
-                    # second attempt from the same durable state safe.
-                    continue
-            shard.manager = recovered.manager
-            shard.scheduler = recovered.scheduler
-            shard.recovery = recovered.harness
-            shard.crash_reports.append(recovered.report)
+        step_shard(shard)
 
     def _quiescent(self, shard: Shard) -> bool:
-        scheduler = shard.scheduler
-        if scheduler.stats.iterations >= scheduler.max_iterations:
-            return True  # runaway guard, same contract as run()
-        if not scheduler.umq.is_empty():
-            return False
-        if shard.engine.next_event_time() is not None:
-            return False
-        pool = getattr(scheduler, "pool", None)
-        return pool is None or not pool.any_busy
+        return shard_quiescent(shard)
 
     def _sc_barrier_time(self, shard: Shard) -> float | None:
-        """Commit time of the head unit's earliest schema change, or
-        ``None`` when the head is not SC-bearing."""
-        scheduler = shard.scheduler
-        if scheduler.umq.is_empty():
-            return None
-        head = scheduler.umq.head()
-        if not head.has_schema_change:
-            return None
-        return min(
-            message.committed_at
-            for message in head.messages
-            if message.is_schema_change
-        )
+        return sc_barrier_time(shard)
 
     def _peer_holds_earlier_work(
         self, shard: Shard, barrier_at: float
     ) -> bool:
         """Does any peer still hold maintenance committed before the
-        schema change at ``barrier_at``?
-
-        Checks the peer's queued units, its wrappers' committed-but-
-        undelivered messages, its in-flight parallel dispatches, and —
-        conservatively — whether the peer's clock could still reach a
-        commit before the barrier time.
+        schema change at ``barrier_at``?  (The per-peer predicate is
+        :func:`shard_blocks_barrier`, shared with the process runtime's
+        coordinator which evaluates it from shipped status snapshots.)
         """
-        for peer in self.shards:
-            if peer is shard:
-                continue
-            for message in peer.scheduler.umq.messages():
-                if message.committed_at < barrier_at:
-                    return True
-            for wrapper in peer.manager.wrappers:
-                for message in wrapper.pending_messages():
-                    if message.committed_at < barrier_at:
-                        return True
-            pool = getattr(peer.scheduler, "pool", None)
-            if pool is not None and pool.any_busy:
-                return True
-            if (
-                peer.engine.clock.now < barrier_at
-                and peer.engine.next_event_time() is not None
-            ):
-                return True
-        return False
+        return any(
+            shard_blocks_barrier(peer, barrier_at)
+            for peer in self.shards
+            if peer is not shard
+        )
 
     # ------------------------------------------------------------------
     # aggregate observability
@@ -381,6 +424,15 @@ class ShardedWarehouse:
     def horizon(self) -> float:
         """Largest virtual clock across shard worlds at quiescence."""
         return max(shard.engine.clock.now for shard in self.shards)
+
+    def shard_clocks(self) -> dict[int, float]:
+        """Per-shard virtual clock, for oracle compares against the
+        process runtime (clocks are interleaving-invariant because
+        shard worlds are independent)."""
+        return {
+            shard.shard_id: shard.engine.clock.now
+            for shard in self.shards
+        }
 
     def install_logs(self) -> dict[int, list]:
         return {

@@ -1,0 +1,214 @@
+"""ABL-13: the multi-core runtime ablation — inline vs process-parallel.
+
+Like ABL-12 this figure reports **wall-clock** seconds (``timebase:
+"wall"``): the process runtime is not allowed to move a single virtual
+number — the equivalence tests and this figure's own identity checks
+hold extents, committed sets and per-shard virtual clocks byte-identical
+across process counts — so its entire effect is how many cores execute
+the shard worlds.
+
+Arms, per point of the process-count sweep over the 4-subview sharded
+testbed (x = worker processes; 0 = the inline coordinator oracle):
+
+* ``build_s`` — world construction (inline: the four worlds built
+  serially in-process; N processes: fork + per-worker builds, which
+  parallelize too);
+* ``exec_s`` — driving the worlds to quiescence (the maintenance work
+  itself; for process arms this is the coordinator-round phase plus
+  state collection);
+* ``total_s`` and the headline ``speedup`` (inline total / arm total),
+  plus ``exec_speedup`` on the execution phase alone;
+* ``plan_cache_hits`` / ``plan_cache_recompiles`` — kernel cache
+  efficiency summed over shards.  Fork-started workers inherit the
+  parent's warm plan cache, so process arms can report *fewer*
+  recompiles than inline; under a spawn start method each worker
+  compiles its own cache instead.
+
+Every process arm must be **byte-identical** to inline: extents,
+committed ``(source, seqno)`` sets and per-shard virtual clocks.  A set
+of hardened identity arms (optimistic strategy, fault plan, crash plan,
+parallel workers) re-proves identity under adversarial configurations at
+small scale.  Any divergence clears the figure's consistency bit.
+
+The speedup bar (>= 1.8x at 4 processes) is only meaningful on a
+machine with >= 4 cores; the benchmark gates its assertion on
+``os.sched_getaffinity`` and records numbers unconditionally.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.strategies import OPTIMISTIC, PESSIMISTIC
+from .runner import FigureResult
+from .testbed import build_sharded_testbed, source_name
+
+
+def _timed_arm(
+    processes: int,
+    strategy,
+    du_count: int,
+    sc_count: int,
+    tuples_per_relation: int,
+    seed: int,
+    fault_plan=None,
+    crash_plan=None,
+    parallel_workers=None,
+):
+    """One full sharded run; returns ``(timings, identity, metrics)``.
+
+    ``timings`` is ``(build_s, exec_s, total_s)``; ``identity`` is the
+    byte-comparable ``(extents, committed, shard_clocks)`` triple.
+    """
+    started = time.perf_counter()
+    testbed = build_sharded_testbed(
+        strategy,
+        shards=4,
+        tuples_per_relation=tuples_per_relation,
+        seed=3,
+        shard_processes=processes,
+        fault_plan=fault_plan,
+        crash_plan=crash_plan,
+        parallel_workers=parallel_workers,
+    )
+    testbed.schedule_du_workload(
+        du_count, start=0.05, interval=0.05, seed=seed
+    )
+    if sc_count:
+        testbed.schedule_sc_workload(
+            sc_count, start=1.0, interval=9.0, seed=seed + 4
+        )
+    if processes:
+        testbed.runtime.prepare()
+        build_s = testbed.runtime.timings["prepare"]
+    else:
+        build_s = time.perf_counter() - started
+    exec_started = time.perf_counter()
+    testbed.run()
+    if processes:
+        timings = testbed.runtime.timings
+        exec_s = timings["execute"] + timings["collect"]
+    else:
+        exec_s = time.perf_counter() - exec_started
+    identity = (
+        testbed.extent_rows(),
+        testbed.committed_updates(),
+        testbed.shard_clocks(),
+    )
+    return (build_s, exec_s, build_s + exec_s), identity, testbed.metrics
+
+
+def _check_identity(result, label, oracle, arm) -> None:
+    names = ("extents", "committed set", "shard clocks")
+    for name, expected, actual in zip(names, oracle, arm):
+        if expected != actual:
+            result.consistent = False
+            result.notes.append(
+                f"{label}: {name} diverged from the inline oracle"
+            )
+
+
+HARDENED_ARMS = (
+    ("optimistic", dict(strategy=OPTIMISTIC)),
+    ("fault-plan", dict(fault_seed=5)),
+    ("crash-plan", dict(crash_seed=9)),
+    ("workers=2", dict(parallel_workers=2)),
+)
+
+
+def run_runtime_ablation(
+    process_counts: tuple[int, ...] = (0, 1, 2, 4),
+    du_count: int = 48,
+    sc_count: int = 2,
+    tuples_per_relation: int = 120,
+    seed: int = 5,
+    repeats: int = 2,
+    identity_arms: bool = True,
+) -> FigureResult:
+    """Measure inline vs N-process wall time; prove result identity."""
+    result = FigureResult(
+        figure_id="ABL-13-runtime",
+        title="Multi-core shard runtime: inline vs process-parallel",
+        x_label="worker processes (0 = inline)",
+        series_names=[
+            "build_s",
+            "exec_s",
+            "total_s",
+            "speedup",
+            "exec_speedup",
+            "plan_cache_hits",
+            "plan_cache_recompiles",
+        ],
+        timebase="wall",
+    )
+    counts = list(process_counts)
+    if 0 not in counts:
+        counts.insert(0, 0)  # the oracle arm anchors every comparison
+    inline_timings = None
+    inline_identity = None
+    for processes in counts:
+        best = None
+        identity = None
+        metrics = None
+        for _ in range(repeats):
+            timings, identity, metrics = _timed_arm(
+                processes,
+                PESSIMISTIC,
+                du_count,
+                sc_count,
+                tuples_per_relation,
+                seed,
+            )
+            if best is None or timings[2] < best[2]:
+                best = timings
+        if processes == 0:
+            inline_timings, inline_identity = best, identity
+        else:
+            _check_identity(
+                result, f"{processes} processes", inline_identity, identity
+            )
+        result.add(
+            processes,
+            build_s=best[0],
+            exec_s=best[1],
+            total_s=best[2],
+            speedup=inline_timings[2] / best[2] if best[2] else 0.0,
+            exec_speedup=inline_timings[1] / best[1] if best[1] else 0.0,
+            plan_cache_hits=metrics.plan_cache_hits,
+            plan_cache_recompiles=metrics.plan_cache_recompiles,
+        )
+    if identity_arms:
+        _run_hardened_arms(result, seed)
+    return result
+
+
+def _run_hardened_arms(result: FigureResult, seed: int) -> None:
+    """Re-prove inline/process identity under adversarial configs.
+
+    Small scale, 2 processes: the point is configuration coverage
+    (strategy x faults x crashes x workers), not timing.
+    """
+    from ..faults.plan import FaultPlan
+    from ..recovery import CrashPlan
+
+    sources = [source_name(index) for index in range(3)]
+    for label, config in HARDENED_ARMS:
+        kwargs = dict(
+            strategy=config.get("strategy", PESSIMISTIC),
+            du_count=10,
+            sc_count=1,
+            tuples_per_relation=48,
+            seed=seed,
+            parallel_workers=config.get("parallel_workers"),
+        )
+        if "fault_seed" in config:
+            kwargs["fault_plan"] = FaultPlan.random(
+                config["fault_seed"], sources
+            )
+        if "crash_seed" in config:
+            kwargs["crash_plan"] = CrashPlan.random(config["crash_seed"])
+        _, oracle, _ = _timed_arm(0, **kwargs)
+        _, arm, _ = _timed_arm(2, **kwargs)
+        _check_identity(result, f"hardened[{label}]", oracle, arm)
+        if result.consistent:
+            result.notes.append(f"hardened[{label}]: identical")

@@ -670,23 +670,185 @@ SHARDED_SPANS: tuple[tuple[int, int], ...] = (
 )
 
 
+def sharded_world_specs(
+    strategy: Strategy,
+    shards: int = 1,
+    tuples_per_relation: int = 200,
+    cost_model: CostModel | None = None,
+    seed: int = 3,
+    backend: str = "memory",
+    parallel_workers: int | None = None,
+    snapshot_cache: bool = False,
+    self_maintenance: bool = False,
+    batch_policy: BatchPolicy | None = None,
+    spans: tuple[tuple[int, int], ...] = SHARDED_SPANS,
+    journal: bool = False,
+    checkpoint_every: int = 8,
+    crash_plan=None,
+    journal_dir=None,
+    fault_plan=None,
+) -> list:
+    """Plan the sharded warehouse as picklable per-shard world specs.
+
+    Runs the same LPT view placement as :func:`build_sharded_testbed`
+    and captures, per effective shard, everything needed to rebuild its
+    world — spans, seeds, knobs.  Both the inline build and the
+    process-parallel runtime's workers consume these specs through
+    :func:`build_shard_world`, so the worlds are identical **by
+    construction**, not by careful duplication.
+    """
+    from ..core.runtime import ShardWorldSpec
+    from ..core.sharding import assign_views
+
+    views = [
+        ViewDefinition(f"V{index + 1}", subview_query(first, last))
+        for index, (first, last) in enumerate(spans)
+    ]
+    span_of = {
+        f"V{index + 1}": span for index, span in enumerate(spans)
+    }
+    buckets = assign_views(views, shards)
+    specs = []
+    for shard_id, bucket in enumerate(buckets):
+        shard_dir = None
+        if journal_dir is not None:
+            from pathlib import Path
+
+            shard_dir = str(Path(journal_dir) / f"shard-{shard_id}")
+        specs.append(
+            ShardWorldSpec(
+                shard_id=shard_id,
+                view_names=tuple(view.name for view in bucket),
+                spans=tuple(span_of[view.name] for view in bucket),
+                strategy=strategy,
+                tuples_per_relation=tuples_per_relation,
+                cost_model=cost_model,
+                seed=seed,
+                backend=backend,
+                parallel_workers=parallel_workers,
+                snapshot_cache=snapshot_cache,
+                self_maintenance=self_maintenance,
+                batch_policy=batch_policy,
+                journal=journal or crash_plan is not None,
+                checkpoint_every=checkpoint_every,
+                crash_plan=crash_plan,
+                journal_dir=shard_dir,
+                fault_plan=fault_plan,
+            )
+        )
+    return specs
+
+
+def build_shard_world(spec, router=None):
+    """Build ONE shard world from its spec; returns ``(shard,
+    initial_sizes)``.
+
+    ``router`` is the shared :class:`~repro.core.sharding.ShardRouter`
+    when building inline; ``None`` (the worker-process case) creates a
+    fresh worker-local router holding only this shard — behaviorally
+    identical for the shard itself, because ``delivery_filter`` reads
+    only its own shard's footprints.
+    """
+    from ..core.sharding import Shard, ShardRouter
+
+    views = [
+        ViewDefinition(name, subview_query(first, last))
+        for name, (first, last) in zip(spec.view_names, spec.spans)
+    ]
+    engine, _ = _populated_engine(
+        spec.tuples_per_relation,
+        spec.cost_model,
+        spec.seed,
+        spec.backend,
+        spec.snapshot_cache,
+    )
+    if spec.fault_plan is not None:
+        from ..faults.injector import FaultInjector
+
+        engine.install_faults(FaultInjector(spec.fault_plan))
+    if router is None:
+        router = ShardRouter()
+    for view in views:
+        router.register_view(spec.shard_id, view)
+    message_filter = router.delivery_filter(spec.shard_id, engine.metrics)
+    if len(views) == 1:
+        manager = ViewManager(engine, views[0], message_filter=message_filter)
+    else:
+        manager = MultiViewManager(
+            engine, list(views), message_filter=message_filter
+        )
+    if spec.self_maintenance:
+        store = manager.install_self_maintenance()
+        for source in engine.sources.values():
+            store.seed_from_source(source)
+    scheduler = _make_scheduler(
+        manager, spec.strategy, spec.parallel_workers, spec.batch_policy
+    )
+    recovery = None
+    if spec.journal:
+        if spec.journal_dir is not None:
+            from pathlib import Path
+
+            Path(spec.journal_dir).mkdir(parents=True, exist_ok=True)
+        recovery = _arm_recovery(
+            engine,
+            manager,
+            scheduler,
+            spec.strategy,
+            spec.parallel_workers,
+            spec.batch_policy,
+            spec.checkpoint_every,
+            spec.crash_plan,
+            spec.journal_dir,
+        )
+    initial_sizes: dict[str, int] = {}
+    for view in views:
+        mv = (
+            manager.manager_for(view.name).mv
+            if hasattr(manager, "manager_for")
+            else manager.mv
+        )
+        initial_sizes[view.name] = len(mv.extent)
+    shard = Shard(
+        spec.shard_id,
+        engine,
+        manager,
+        scheduler,
+        tuple(view.name for view in views),
+        recovery=recovery,
+    )
+    return shard, initial_sizes
+
+
 @dataclass
 class ShardedTestbed:
-    """A sharded multi-view warehouse plus its read front end."""
+    """A sharded multi-view warehouse plus its read front end.
 
-    warehouse: object  # ShardedWarehouse
+    Exactly one of ``warehouse`` (inline coordinator, the oracle) or
+    ``runtime`` (:class:`~repro.core.runtime.ProcessShardRuntime`,
+    multi-core execution) drives the run; every accessor branches on
+    which one is armed and answers identically — that equivalence *is*
+    the runtime's acceptance criterion.
+    """
+
+    warehouse: object  # ShardedWarehouse | None
     tuples_per_relation: int
     shards: int
     #: view name -> extent cardinality right after the initial load
-    #: (the read front end's version-0 sizes)
+    #: (the read front end's version-0 sizes); resolved post-launch in
+    #: process mode
     initial_sizes: dict[str, int]
     strategy: Strategy | None = None
     parallel_workers: int | None = None
+    #: process-parallel runtime when ``shard_processes > 0``
+    runtime: object | None = None
 
     @property
     def metrics(self):
         """Aggregated metrics; ``metrics.makespan`` is the aggregate
         makespan (completion time of the slowest shard)."""
+        if self.runtime is not None:
+            return self.runtime.aggregate_metrics()
         return self.warehouse.aggregate_metrics()
 
     def schedule_du_workload(
@@ -701,6 +863,24 @@ class ShardedTestbed:
         """Fan the DU stream out: one identically-seeded copy per shard
         world (sources evolve identically; the router filters only the
         wrapper -> UMQ delivery)."""
+        if self.runtime is not None:
+            from ..core.runtime import WorkloadSpec
+
+            self.runtime.add_workload_spec(
+                WorkloadSpec(
+                    "du",
+                    {
+                        "tuples_per_relation": self.tuples_per_relation,
+                        "count": count,
+                        "start": start,
+                        "interval": interval,
+                        "insert_fraction": insert_fraction,
+                        "seed": seed,
+                        "key_domain": key_domain,
+                    },
+                )
+            )
+            return
         self.warehouse.schedule_workload(
             lambda: make_du_workload(
                 self.tuples_per_relation,
@@ -721,6 +901,22 @@ class ShardedTestbed:
         seed: int = 11,
         drop_first: bool = True,
     ) -> None:
+        if self.runtime is not None:
+            from ..core.runtime import WorkloadSpec
+
+            self.runtime.add_workload_spec(
+                WorkloadSpec(
+                    "sc",
+                    {
+                        "count": count,
+                        "start": start,
+                        "interval": interval,
+                        "seed": seed,
+                        "drop_first": drop_first,
+                    },
+                )
+            )
+            return
         self.warehouse.schedule_workload(
             lambda: make_sc_workload(
                 count, start, interval, seed=seed, drop_first=drop_first
@@ -728,16 +924,36 @@ class ShardedTestbed:
         )
 
     def run(self) -> None:
+        if self.runtime is not None:
+            self.runtime.run()
+            self.initial_sizes = self.runtime.initial_sizes()
+            return
         self.warehouse.run()
 
     def committed_updates(self) -> frozenset:
+        if self.runtime is not None:
+            return self.runtime.committed_updates()
         return self.warehouse.committed_updates()
 
     def extent_rows(self) -> dict[str, tuple]:
+        if self.runtime is not None:
+            return self.runtime.extent_rows()
         return self.warehouse.extent_rows()
 
+    def shard_clocks(self) -> dict[int, float]:
+        """Per-shard virtual clocks after the run (identity checks)."""
+        if self.runtime is not None:
+            return self.runtime.shard_clocks()
+        return self.warehouse.shard_clocks()
+
     def check_consistency(self) -> bool:
-        """Every shard's views converge to the fresh-recompute oracle."""
+        """Every shard's views converge to the fresh-recompute oracle.
+
+        Process mode: convergence was checked *inside* each worker at
+        COLLECT time, against the worker's own live sources.
+        """
+        if self.runtime is not None:
+            return self.runtime.consistent()
         from ..views.consistency import check_convergence
 
         return all(
@@ -750,6 +966,19 @@ class ShardedTestbed:
         """Build the post-run read front end over the install logs."""
         from ..frontend.reads import ReadFrontEnd
 
+        if self.runtime is not None:
+            view_shard = {
+                name: spec.shard_id
+                for spec in self.runtime.specs
+                for name in spec.view_names
+            }
+            return ReadFrontEnd.from_install_logs(
+                self.runtime.install_logs(),
+                view_shard,
+                self.runtime.initial_sizes(),
+                self.runtime.cost_model(),
+                self.runtime.horizon(),
+            )
         return ReadFrontEnd.for_warehouse(self.warehouse, self.initial_sizes)
 
 
@@ -770,6 +999,7 @@ def build_sharded_testbed(
     crash_plan=None,
     journal_dir=None,
     fault_plan=None,
+    shard_processes: int = 0,
 ) -> ShardedTestbed:
     """The sharded analogue of :func:`build_multiview_testbed`.
 
@@ -781,89 +1011,58 @@ def build_sharded_testbed(
     wrappers through the footprint router.  ``shards=1`` is the oracle
     arm: one scheduler owning every view, still driven through the
     coordinator so the code path (not just the answer) is comparable.
-    """
-    from ..core.sharding import (
-        Shard,
-        ShardedWarehouse,
-        ShardRouter,
-        assign_views,
-    )
 
-    views = [
-        ViewDefinition(f"V{index + 1}", subview_query(first, last))
-        for index, (first, last) in enumerate(spans)
-    ]
-    buckets = assign_views(views, shards)
+    ``shard_processes=N`` (N >= 1) executes the shard worlds across N
+    OS worker processes through
+    :class:`~repro.core.runtime.ProcessShardRuntime` instead of the
+    inline coordinator — bit-identical results on multiple cores; ``0``
+    (the default) keeps the inline single-process oracle path.
+    """
+    from ..core.sharding import ShardedWarehouse, ShardRouter
+
+    specs = sharded_world_specs(
+        strategy,
+        shards=shards,
+        tuples_per_relation=tuples_per_relation,
+        cost_model=cost_model,
+        seed=seed,
+        backend=backend,
+        parallel_workers=parallel_workers,
+        snapshot_cache=snapshot_cache,
+        self_maintenance=self_maintenance,
+        batch_policy=batch_policy,
+        spans=spans,
+        journal=journal,
+        checkpoint_every=checkpoint_every,
+        crash_plan=crash_plan,
+        journal_dir=journal_dir,
+        fault_plan=fault_plan,
+    )
+    if shard_processes:
+        from ..core.runtime import ProcessShardRuntime
+
+        runtime = ProcessShardRuntime(specs, shard_processes)
+        return ShardedTestbed(
+            None,
+            tuples_per_relation,
+            len(specs),
+            {},
+            strategy=strategy,
+            parallel_workers=parallel_workers,
+            runtime=runtime,
+        )
     router = ShardRouter()
     shard_list = []
     initial_sizes: dict[str, int] = {}
-    for shard_id, bucket in enumerate(buckets):
-        engine, _ = _populated_engine(
-            tuples_per_relation, cost_model, seed, backend, snapshot_cache
-        )
-        if fault_plan is not None:
-            from ..faults.injector import FaultInjector
-
-            engine.install_faults(FaultInjector(fault_plan))
-        for view in bucket:
-            router.register_view(shard_id, view)
-        message_filter = router.delivery_filter(shard_id, engine.metrics)
-        if len(bucket) == 1:
-            manager = ViewManager(
-                engine, bucket[0], message_filter=message_filter
-            )
-        else:
-            manager = MultiViewManager(
-                engine, list(bucket), message_filter=message_filter
-            )
-        if self_maintenance:
-            store = manager.install_self_maintenance()
-            for source in engine.sources.values():
-                store.seed_from_source(source)
-        scheduler = _make_scheduler(
-            manager, strategy, parallel_workers, batch_policy
-        )
-        recovery = None
-        if journal or crash_plan is not None:
-            shard_dir = None
-            if journal_dir is not None:
-                from pathlib import Path
-
-                shard_dir = Path(journal_dir) / f"shard-{shard_id}"
-                shard_dir.mkdir(parents=True, exist_ok=True)
-            recovery = _arm_recovery(
-                engine,
-                manager,
-                scheduler,
-                strategy,
-                parallel_workers,
-                batch_policy,
-                checkpoint_every,
-                crash_plan,
-                shard_dir,
-            )
-        for view in bucket:
-            mv = (
-                manager.manager_for(view.name).mv
-                if hasattr(manager, "manager_for")
-                else manager.mv
-            )
-            initial_sizes[view.name] = len(mv.extent)
-        shard_list.append(
-            Shard(
-                shard_id,
-                engine,
-                manager,
-                scheduler,
-                tuple(view.name for view in bucket),
-                recovery=recovery,
-            )
-        )
+    for spec in specs:
+        shard, sizes = build_shard_world(spec, router=router)
+        initial_sizes.update(sizes)
+        shard_list.append(shard)
     warehouse = ShardedWarehouse(shard_list, router)
     return ShardedTestbed(
         warehouse,
         tuples_per_relation,
-        len(buckets),
+        len(specs),
         initial_sizes,
         strategy=strategy,
         parallel_workers=parallel_workers,

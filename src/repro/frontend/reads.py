@@ -99,6 +99,14 @@ class ShardTimeline:
             for view in self.views:
                 sizes = self.view_sizes[view]
                 sizes.append(record.view_sizes.get(view, sizes[-1]))
+        # Per-version index of the first delivered commit NOT visible at
+        # that version's watermark: one bisect per *version* here buys
+        # O(1) staleness per *read* in the serving loop (reads outnumber
+        # versions by orders of magnitude — ABL-11 replays >= 10^6).
+        self.first_invisible: list[int] = [
+            bisect_right(self.commits, watermark)
+            for watermark in self.watermarks
+        ]
 
     def version_at(self, at: float) -> int:
         """Newest version installed at or before ``at``."""
@@ -107,9 +115,19 @@ class ShardTimeline:
     def watermark_at(self, at: float) -> float:
         return self.watermarks[self.version_at(at)]
 
+    def staleness_of(self, version: int, at: float) -> float:
+        """Age of the oldest delivered commit invisible at ``version``
+        as observed at time ``at`` (0.0 when fully fresh).  O(1): the
+        first-invisible commit was precomputed per version."""
+        index = self.first_invisible[version]
+        if index < len(self.commits) and self.commits[index] <= at:
+            return at - self.commits[index]
+        return 0.0
+
     def staleness(self, watermark: float, at: float) -> float:
-        """Age of the oldest delivered commit invisible at ``watermark``
-        as observed at time ``at`` (0.0 when fully fresh)."""
+        """Staleness at an arbitrary ``watermark`` (bisecting flavour
+        for ad-hoc queries; the serving loop uses
+        :meth:`staleness_of`)."""
         index = bisect_right(self.commits, watermark)
         if index < len(self.commits) and self.commits[index] <= at:
             return at - self.commits[index]
@@ -179,19 +197,43 @@ class ReadFrontEnd:
         name to the extent cardinality right after the initial load
         (captured at build time — the install log only records
         post-install sizes)."""
-        timelines: dict[int, ShardTimeline] = {}
-        view_shard: dict[str, int] = {}
-        for shard in warehouse.shards:
-            shard_initial = {
-                name: initial_sizes[name] for name in shard.view_names
-            }
-            timelines[shard.shard_id] = ShardTimeline(
-                shard.engine.install_log, shard_initial
-            )
-            for name in shard.view_names:
-                view_shard[name] = shard.shard_id
+        view_shard = {
+            name: shard.shard_id
+            for shard in warehouse.shards
+            for name in shard.view_names
+        }
+        install_logs = {
+            shard.shard_id: shard.engine.install_log
+            for shard in warehouse.shards
+        }
         cost = warehouse.shards[0].engine.cost_model
-        return cls(timelines, view_shard, cost, warehouse.horizon())
+        return cls.from_install_logs(
+            install_logs, view_shard, initial_sizes, cost, warehouse.horizon()
+        )
+
+    @classmethod
+    def from_install_logs(
+        cls,
+        install_logs: dict[int, list[InstallRecord]],
+        view_shard: dict[str, int],
+        initial_sizes: dict[str, int],
+        cost: CostModel,
+        horizon: float,
+    ) -> "ReadFrontEnd":
+        """Build from bare per-shard install logs — the process-parallel
+        runtime ships these home at COLLECT time, so the front end needs
+        no live warehouse at all."""
+        shard_views: dict[int, list[str]] = {}
+        for name, shard_id in view_shard.items():
+            shard_views.setdefault(shard_id, []).append(name)
+        timelines = {
+            shard_id: ShardTimeline(
+                install_logs[shard_id],
+                {name: initial_sizes[name] for name in names},
+            )
+            for shard_id, names in shard_views.items()
+        }
+        return cls(timelines, dict(view_shard), cost, horizon)
 
     def _global_watermark_steps(self) -> tuple[list[float], list[float]]:
         """The min-across-shards watermark as a step function."""
@@ -281,20 +323,44 @@ class ReadFrontEnd:
             watermarks = timeline.watermarks
             view_sizes = timeline.view_sizes
             free_at = [0.0] * servers  # heap of server-free times
+            # Reads are served in ``at`` order and every lookup target
+            # is monotone in ``at`` (install times, the global
+            # watermark step function, and — because the cut is
+            # nondecreasing — the watermark cap), so all three
+            # per-read binary searches collapse to pointers that only
+            # ever advance: O(reads + versions) per shard instead of
+            # O(reads * log versions).  test_reads asserts the loop
+            # performs zero bisect calls.
+            version_count = len(times)
+            version_ptr = 0  # newest version with times[ptr] <= at
+            cut_ptr = 0  # steps into the global watermark function
+            cap_count = len(global_times) if committed else 0
+            cap_ptr = 0  # count of watermarks <= current global cut
             for at, view, scan in reads:
-                version = bisect_right(times, at) - 1
+                while (
+                    version_ptr + 1 < version_count
+                    and times[version_ptr + 1] <= at
+                ):
+                    version_ptr += 1
+                version = version_ptr
                 if committed:
-                    cut_index = bisect_right(global_times, at) - 1
-                    cut = global_watermarks[cut_index] if cut_index >= 0 else 0.0
-                    # Newest version <= ``version`` whose watermark does
-                    # not exceed the global cut (watermarks are
-                    # monotone, so bisect applies).
-                    version = max(
-                        0,
-                        bisect_right(watermarks, cut, hi=version + 1) - 1,
-                    )
-                watermark = watermarks[version]
-                staleness = timeline.staleness(watermark, at)
+                    while (
+                        cut_ptr + 1 < cap_count
+                        and global_times[cut_ptr + 1] <= at
+                    ):
+                        cut_ptr += 1
+                    cut = global_watermarks[cut_ptr]
+                    while (
+                        cap_ptr < version_count
+                        and watermarks[cap_ptr] <= cut
+                    ):
+                        cap_ptr += 1
+                    # Newest version <= ``version`` whose watermark
+                    # does not exceed the global cut — identical to
+                    # ``bisect_right(watermarks, cut, hi=version + 1)
+                    # - 1`` clamped at 0.
+                    version = max(0, min(cap_ptr - 1, version))
+                staleness = timeline.staleness_of(version, at)
                 if staleness > 0.0:
                     stale_reads += 1
                     total_staleness += staleness

@@ -137,6 +137,15 @@ class Metrics:
     #: barrier deadlock-avoidance releases (the earliest-SC shard was
     #: allowed to proceed although peers still held pre-SC messages)
     barrier_releases: int = 0
+    #: compiled-plan cache hits harvested while this scheduler stepped
+    #: (the process-global :data:`~repro.relational.plan.PLAN_CACHE`
+    #: deltas are attributed to the shard whose step incurred them, so
+    #: sharded runs report kernel cache efficiency per shard)
+    plan_cache_hits: int = 0
+    #: plan compilations (cache misses) harvested while stepping
+    plan_cache_recompiles: int = 0
+    #: plan-cache evictions harvested while stepping
+    plan_cache_evictions: int = 0
     #: point/scan reads served by the read front end
     reads_served: int = 0
     #: summed read service + queueing latency (virtual seconds)
@@ -257,6 +266,9 @@ class Metrics:
             "router_dropped": self.router_dropped,
             "barrier_deferrals": self.barrier_deferrals,
             "barrier_releases": self.barrier_releases,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_recompiles": self.plan_cache_recompiles,
+            "plan_cache_evictions": self.plan_cache_evictions,
             "reads_served": self.reads_served,
             "read_latency_time": round(self.read_latency_time, 6),
             "read_wait_time": round(self.read_wait_time, 6),

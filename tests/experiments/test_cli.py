@@ -40,6 +40,7 @@ class TestExecution:
             checkpoint_every=8,
             crash_seed=None,
             shards=1,
+            shard_processes=0,
         ):
             return {"fig09": lambda: calls.append(full) or FakeResult()}
 
@@ -60,7 +61,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1: {
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1, shard_processes=0: {
                 "fig09": lambda: seen.append(full) or FakeResult()
             },
         )
@@ -79,7 +80,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1: {
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1, shard_processes=0: {
                 "fig09": lambda: seen.append(seed) or FakeResult()
             },
         )
@@ -99,7 +100,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1: {
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1, shard_processes=0: {
                 "fig09": lambda: seen.append(snapshot_cache) or FakeResult()
             },
         )
@@ -124,7 +125,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1: {
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1, shard_processes=0: {
                 "fig09": lambda: seen.append(self_maintenance)
                 or FakeResult()
             },
@@ -152,7 +153,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1: {
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1, shard_processes=0: {
                 "fig09": lambda: seen.append(group_maintenance)
                 or FakeResult()
             },
@@ -178,7 +179,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1: {
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1, shard_processes=0: {
                 "fig09": lambda: seen.append(
                     (journal, checkpoint_every, crash_seed)
                 )
@@ -206,7 +207,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1: {
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1, shard_processes=0: {
                 "fig09": lambda: seen.append(shards) or FakeResult()
             },
         )
@@ -221,6 +222,34 @@ class TestExecution:
     def test_sharding_ablation_registered(self):
         assert "abl-sharding" in cli._runners(full=False)
 
+    def test_shard_processes_flag_threaded_through(self, monkeypatch):
+        seen = []
+
+        class FakeResult:
+            consistent = True
+
+            def table(self):
+                return ""
+
+        monkeypatch.setattr(
+            cli,
+            "_runners",
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1, shard_processes=0: {
+                "fig09": lambda: seen.append(shard_processes)
+                or FakeResult()
+            },
+        )
+        cli.main(["fig09", "--shard-processes", "2"])
+        cli.main(["fig09"])
+        assert seen == [2, 0]
+
+    def test_shard_processes_must_be_nonnegative(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig09", "--shard-processes", "-1"])
+
+    def test_runtime_ablation_registered(self):
+        assert "abl-runtime" in cli._runners(full=False)
+
     def test_batch_and_cache_flags_compose(self, monkeypatch):
         seen = []
 
@@ -233,7 +262,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1: {
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1, shard_processes=0: {
                 "fig09": lambda: seen.append(
                     (snapshot_cache, group_maintenance)
                 )
@@ -255,7 +284,7 @@ class TestExecution:
         monkeypatch.setattr(
             cli,
             "_runners",
-            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1: {
+            lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1, shard_processes=0: {
                 name: (lambda n=name: ran.append(n) or FakeResult())
                 for name in ("fig09", "fig10")
             },
@@ -271,6 +300,6 @@ class TestExecution:
                 return ""
 
         monkeypatch.setattr(
-            cli, "_runners", lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1: {"fig09": BadResult}
+            cli, "_runners", lambda full, seed=None, snapshot_cache=False, self_maintenance=False, group_maintenance=False, journal=False, checkpoint_every=8, crash_seed=None, shards=1, shard_processes=0: {"fig09": BadResult}
         )
         assert cli.main(["fig09"]) == 1

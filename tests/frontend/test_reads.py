@@ -194,3 +194,69 @@ class TestForWarehouse:
         )
         # The committed cut can only serve versions at or behind latest.
         assert committed.mean_staleness >= report.mean_staleness
+
+
+class TestServeIsBisectFree:
+    """The serving loop's micro-benchmark guarantee: reads are served
+    in ``at`` order with monotone pointers, so ``serve()`` performs
+    ZERO binary searches regardless of the read count — O(reads +
+    versions) per shard, not O(reads * log versions)."""
+
+    def _counting_frontend(self, monkeypatch):
+        frontend = _two_shard_frontend()
+        frontend._global_watermark_steps()  # warm the cached step fn
+        from bisect import bisect_right as real_bisect_right
+
+        import repro.frontend.reads as reads_module
+
+        calls = []
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return real_bisect_right(*args, **kwargs)
+
+        monkeypatch.setattr(reads_module, "bisect_right", counting)
+        return frontend, calls
+
+    @pytest.mark.parametrize("count", [200, 2000])
+    def test_serve_performs_zero_bisect_calls(self, monkeypatch, count):
+        frontend, calls = self._counting_frontend(monkeypatch)
+        for level in (READ_LATEST, READ_COMMITTED_VERSION):
+            report = frontend.serve(
+                ReadWorkload(count=count, seed=17), level
+            )
+            assert report.count == count
+        assert len(calls) == 0
+
+    def test_staleness_of_matches_bisecting_staleness(self):
+        timeline = ShardTimeline(
+            [
+                _record(1.5, 11, ("src1", 1, 1.0)),
+                _record(2.5, 12, ("src1", 2, 2.0)),
+            ],
+            {"A": 10},
+        )
+        for version in range(len(timeline.times)):
+            watermark = timeline.watermarks[version]
+            for at in (0.5, 1.2, 1.8, 2.6, 4.0):
+                assert timeline.staleness_of(version, at) == timeline.staleness(
+                    watermark, at
+                )
+
+    def test_pointer_merge_matches_bisect_reports(self):
+        # Belt and braces: the pointer-based serve must produce the
+        # exact same report a from-scratch front end does on a real
+        # sharded run at both consistency levels (the values, not just
+        # the complexity, are preserved).
+        testbed = build_sharded_testbed(
+            PESSIMISTIC, shards=2, tuples_per_relation=40
+        )
+        testbed.schedule_du_workload(16, start=0.05, interval=0.05)
+        testbed.run()
+        frontend = testbed.read_front_end()
+        again = testbed.read_front_end()
+        for level in (READ_LATEST, READ_COMMITTED_VERSION):
+            workload = ReadWorkload(count=3000, seed=23)
+            assert frontend.serve(workload, level) == again.serve(
+                workload, level
+            )
